@@ -1,0 +1,33 @@
+# Convenience targets for the qsub reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerates every table and figure (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/qsubsim -exp all -trials 200
+
+fuzz:
+	$(GO) test ./internal/wire -fuzz FuzzUnmarshalMessage -fuzztime 30s
+	$(GO) test ./internal/wire -fuzz FuzzUnmarshalSubscribe -fuzztime 30s
+	$(GO) test ./internal/geom -fuzz FuzzDisjointCover -fuzztime 30s
+	$(GO) test ./internal/geom -fuzz FuzzConvexHull -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

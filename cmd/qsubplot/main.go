@@ -1,0 +1,84 @@
+// Command qsubplot renders a workload and its merged plan as an SVG:
+// query rectangles, the merged regions produced by the chosen procedure,
+// and (optionally) the data points. It makes the geometric trade-offs of
+// Fig 5 and the clustering structure of §9.1 visible at a glance.
+//
+// Usage:
+//
+//	qsubplot -n 12 -proc rect    > plan.svg
+//	qsubplot -n 12 -proc exact -points 2000 > plan.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qsub/internal/core"
+	"qsub/internal/cost"
+	"qsub/internal/plot"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+	"qsub/internal/workload"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 12, "number of queries")
+		proc   = flag.String("proc", "rect", "merge procedure: rect, polygon, exact")
+		points = flag.Int("points", 0, "also draw this many data points")
+		seed   = flag.Int64("seed", 1, "workload seed")
+		km     = flag.Float64("km", 64000, "cost model K_M")
+		ku     = flag.Float64("ku", 0.5, "cost model K_U")
+		width  = flag.Int("width", 800, "SVG width in pixels")
+	)
+	flag.Parse()
+
+	var procedure query.MergeProcedure
+	switch *proc {
+	case "rect":
+		procedure = query.BoundingRect{}
+	case "polygon":
+		procedure = query.BoundingPolygon{}
+	case "exact":
+		procedure = query.Exact{}
+	default:
+		fmt.Fprintf(os.Stderr, "qsubplot: unknown procedure %q\n", *proc)
+		os.Exit(2)
+	}
+
+	wl := workload.DefaultConfig()
+	wl.DF = 70
+	wl.Seed = *seed
+	gen, err := workload.NewGenerator(wl)
+	if err != nil {
+		fatal(err)
+	}
+	qs := gen.Queries(*n)
+	model := cost.Model{KM: *km, KT: 1, KU: *ku}
+	inst := core.NewGeomInstance(model, qs, procedure,
+		relation.Uniform{Density: 0.05, BytesPerTuple: 32})
+	plan := core.PairMerge{}.Solve(inst)
+	regions := core.MergedRegions(qs, procedure, plan)
+
+	p := plot.New(wl.DB, *width)
+	for _, pt := range gen.Points(*points) {
+		p.Point(pt)
+	}
+	for i, region := range regions {
+		p.Region(region, i)
+	}
+	for _, q := range qs {
+		p.Query(q.Region.BoundingRect())
+	}
+	p.Caption(fmt.Sprintf("%s merge: %d queries → %d messages, cost %.0f (unmerged %.0f)",
+		procedure.Name(), len(qs), len(plan), inst.Cost(plan), inst.InitialCost()))
+	if _, err := p.WriteTo(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qsubplot:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command qsubtrace summarizes a control-plane trace recorded by
+// qsubd -trace: per-kind event counts, plan/publish statistics, and the
+// re-plan timeline.
+//
+// Usage:
+//
+//	qsubtrace trace.jsonl
+//	qsubd -trace trace.jsonl ... ; qsubtrace trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qsub/internal/trace"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qsubtrace <trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(events) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+
+	sum := trace.Summarize(events)
+	fmt.Printf("%d events: %d plans, %d publishes, %d subscribes, %d unsubscribes, %d drift samples\n",
+		len(events), sum[trace.KindPlan], sum[trace.KindPublish],
+		sum[trace.KindSubscribe], sum[trace.KindUnsubscribe], sum[trace.KindDrift])
+
+	var (
+		totalMsgs, totalTuples, totalBytes int
+		deltaPublishes                     int
+		maxDrift                           float64
+		replansSignalled                   int
+	)
+	for _, ev := range events {
+		switch ev.Kind {
+		case trace.KindPublish:
+			totalMsgs += ev.Messages
+			totalTuples += ev.Tuples
+			totalBytes += ev.PayloadBytes
+			if ev.Delta {
+				deltaPublishes++
+			}
+		case trace.KindDrift:
+			if ev.Drift > maxDrift {
+				maxDrift = ev.Drift
+			}
+			if ev.Replan {
+				replansSignalled++
+			}
+		}
+	}
+	fmt.Printf("published: %d messages, %d tuples, %d payload bytes (%d delta publishes)\n",
+		totalMsgs, totalTuples, totalBytes, deltaPublishes)
+	fmt.Printf("drift: max %.3f, re-plan signalled %d time(s)\n", maxDrift, replansSignalled)
+
+	fmt.Println("\nplan timeline:")
+	for _, ev := range events {
+		if ev.Kind != trace.KindPlan {
+			continue
+		}
+		saved := 0.0
+		if ev.InitialCost > 0 {
+			saved = 100 * (1 - ev.EstimatedCost/ev.InitialCost)
+		}
+		fmt.Printf("  seq %-5d ts %-13d %d queries -> %d merged sets on %d channel(s), cost %.0f (%.1f%% saved)\n",
+			ev.Seq, ev.UnixMillis, ev.Queries, ev.MergedSets, ev.Channels, ev.EstimatedCost, saved)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qsubtrace:", err)
+	os.Exit(1)
+}

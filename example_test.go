@@ -1,0 +1,91 @@
+package qsub_test
+
+import (
+	"fmt"
+	"sync"
+
+	"qsub"
+)
+
+// Example demonstrates the core loop: subscribe, merge, publish, extract.
+func Example() {
+	rel := qsub.NewRelation(qsub.R(0, 0, 100, 100), 4, 4)
+	rel.Insert(qsub.Pt(10, 10), []byte("alpha"))
+	rel.Insert(qsub.Pt(20, 20), []byte("bravo"))
+	rel.Insert(qsub.Pt(90, 90), []byte("charlie"))
+
+	net, _ := qsub.NewNetwork(1)
+	defer net.Close()
+	srv, _ := qsub.NewServer(rel, net, qsub.ServerConfig{
+		Model: qsub.Model{KM: 100, KT: 1, KU: 1},
+	})
+
+	// Two overlapping subscriptions from two clients.
+	q1 := qsub.RangeQuery(1, qsub.R(0, 0, 30, 30))
+	q2 := qsub.RangeQuery(2, qsub.R(15, 15, 40, 40))
+	c1 := qsub.NewClient(0, q1)
+	c2 := qsub.NewClient(1, q2)
+	srv.Subscribe(0, q1)
+	srv.Subscribe(1, q2)
+
+	cycle, _ := srv.Plan()
+	var wg sync.WaitGroup
+	for _, pair := range []struct {
+		c  *qsub.Client
+		id int
+	}{{c1, 0}, {c2, 1}} {
+		sub, _ := net.Subscribe(cycle.ClientChannel[pair.id], 8)
+		wg.Add(1)
+		go func(c *qsub.Client, sub *qsub.Subscription) {
+			defer wg.Done()
+			c.Consume(sub)
+		}(pair.c, sub)
+		defer sub.Cancel()
+	}
+	rep, _ := srv.Publish(cycle)
+	net.Close()
+	wg.Wait()
+
+	fmt.Printf("published %d merged message(s)\n", rep.Messages)
+	fmt.Printf("client 0 extracted %d tuple(s)\n", len(c1.Answer(1)))
+	fmt.Printf("client 1 extracted %d tuple(s)\n", len(c2.Answer(2)))
+	// Output:
+	// published 1 merged message(s)
+	// client 0 extracted 2 tuple(s)
+	// client 1 extracted 1 tuple(s)
+}
+
+// ExamplePairMerge shows direct use of the merging engine without the
+// server: the Appendix 1 instance where greedy pair merging is trapped.
+func ExamplePairMerge() {
+	// Fig 6: q1 = top row, q2 = right column, q3 = bottom-left cell of
+	// a 2×2 unit grid.
+	qs := []qsub.Query{
+		qsub.RangeQuery(1, qsub.R(0, 1, 2, 2)),
+		qsub.RangeQuery(2, qsub.R(1, 0, 2, 2)),
+		qsub.RangeQuery(3, qsub.R(0, 0, 1, 1)),
+	}
+	inst := qsub.NewInstance(qsub.DefaultModel(), qs, qsub.BoundingRect{},
+		qsub.UniformEstimator{Density: 1, BytesPerTuple: 1})
+
+	greedy := qsub.PairMerge{}.Solve(inst)
+	optimal := qsub.Partition{}.Solve(inst)
+	fmt.Printf("greedy:  %v cost %.0f\n", greedy, inst.Cost(greedy))
+	fmt.Printf("optimal: %v cost %.0f\n", optimal, inst.Cost(optimal))
+	// Output:
+	// greedy:  [[0] [1] [2]] cost 75
+	// optimal: [[0 1 2]] cost 74
+}
+
+// ExampleMergeIntervals shows the 1-D specialization on the paper's
+// introduction example.
+func ExampleMergeIntervals() {
+	ivs := []qsub.Interval{
+		{Lo: 2, Hi: 40}, // σ(2≤A≤40)R
+		{Lo: 3, Hi: 41}, // σ(3≤A≤41)R
+	}
+	plan := qsub.MergeIntervals(qsub.Model{KM: 100, KT: 1, KU: 1}, ivs, 1)
+	fmt.Printf("merged into %d query set(s): %v\n", len(plan.Plan), plan.Plan)
+	// Output:
+	// merged into 1 query set(s): [[0 1]]
+}

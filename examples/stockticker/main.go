@@ -1,0 +1,120 @@
+// Stock ticker: an information-feed scenario from the paper's
+// introduction ("stock and sports tickers or news wires"). Prices live in
+// a two-dimensional attribute space of (sector, price-band); trading
+// desks subscribe to rectangular slices of it. Ticks stream in
+// continuously; the server ships per-period deltas, and desks enable the
+// client object cache (§11) so repeated full snapshots cost nothing.
+//
+// Run with: go run ./examples/stockticker
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"qsub"
+)
+
+const (
+	sectors    = 100.0 // x axis: sector code
+	priceBands = 100.0 // y axis: normalized price band
+)
+
+func main() {
+	rel := qsub.NewRelation(qsub.R(0, 0, sectors, priceBands), 10, 10)
+	net, err := qsub.NewNetwork(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+	srv, err := qsub.NewServer(rel, net, qsub.ServerConfig{
+		Model: qsub.Model{KM: 400, KT: 1, KU: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three desks with overlapping sector/price interests.
+	desks := map[int]*qsub.Client{
+		0: qsub.NewClient(0, qsub.RangeQuery(1, qsub.R(0, 40, 30, 90))),   // tech desk
+		1: qsub.NewClient(1, qsub.RangeQuery(2, qsub.R(20, 30, 60, 80))),  // industrials
+		2: qsub.NewClient(2, qsub.RangeQuery(3, qsub.R(10, 50, 40, 100))), // growth
+	}
+	for id, d := range desks {
+		d.EnableCache()
+		for _, q := range d.Queries() {
+			if err := srv.Subscribe(id, q); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	cycle, err := srv.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %d merged feeds for 3 desks (cost %.0f vs %.0f unmerged)\n",
+		messages(cycle), cycle.EstimatedCost, cycle.InitialCost)
+
+	subs := map[int]*qsub.Subscription{}
+	done := make(chan int, len(desks))
+	for id, d := range desks {
+		sub, err := net.Subscribe(cycle.ClientChannel[id], 256)
+		if err != nil {
+			log.Fatal(err)
+		}
+		subs[id] = sub
+		go func(d *qsub.Client, sub *qsub.Subscription, id int) {
+			d.Consume(sub)
+			done <- id
+		}(d, sub, id)
+	}
+
+	// Ten trading periods: a burst of ticks, then a delta publish.
+	rng := rand.New(rand.NewSource(99))
+	for period := 1; period <= 10; period++ {
+		for i := 0; i < 100; i++ {
+			rel.Insert(qsub.Pt(rng.Float64()*sectors, rng.Float64()*priceBands),
+				[]byte(fmt.Sprintf("tick-%d", period)))
+		}
+		rep, err := srv.PublishDelta(cycle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("period %2d: %3d ticks shipped in %d messages (%5d bytes)\n",
+			period, rep.Tuples, rep.Messages, rep.PayloadBytes)
+	}
+	// A full snapshot at the end: caches absorb every duplicate.
+	if _, err := srv.Publish(cycle); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, sub := range subs {
+		sub.Cancel()
+	}
+	for range desks {
+		<-done
+	}
+
+	fmt.Println()
+	for id, d := range desks {
+		q := d.Queries()[0]
+		want := q.Answer(rel)
+		got := d.Answer(q.ID)
+		st := d.Stats()
+		fmt.Printf("desk %d: %d ticks in view (database agrees: %t); cache hits %d, irrelevant bytes %d\n",
+			id, len(got), len(got) == len(want), st.CacheHits, st.IrrelevantBytes)
+		if len(got) != len(want) {
+			log.Fatalf("desk %d view diverged from database", id)
+		}
+	}
+}
+
+func messages(cy *qsub.Cycle) int {
+	n := 0
+	for _, plan := range cy.ChannelPlans {
+		n += len(plan)
+	}
+	return n
+}

@@ -1,0 +1,161 @@
+// Traffic feed: the dynamic/continuous scenario of the paper's future
+// work (§11). A city traffic system streams incident reports into the
+// database; commuter clients hold standing queries over their routes and
+// receive per-period deltas (only newly inserted incidents). Mid-run a
+// new commuter subscribes, and the server re-plans incrementally instead
+// of re-merging from scratch.
+//
+// Run with: go run ./examples/trafficfeed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"qsub"
+)
+
+const city = 500.0
+
+func main() {
+	rel := qsub.NewRelation(qsub.R(0, 0, city, city), 10, 10)
+	net, err := qsub.NewNetwork(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	srv, err := qsub.NewServer(rel, net, qsub.ServerConfig{
+		Model: qsub.Model{KM: 800, KT: 1, KU: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two commuters watch overlapping downtown corridors.
+	commuters := map[int]*qsub.Client{
+		0: qsub.NewClient(0, qsub.RangeQuery(1, qsub.R(100, 100, 250, 250))),
+		1: qsub.NewClient(1, qsub.RangeQuery(2, qsub.R(150, 150, 300, 300))),
+	}
+	for id, c := range commuters {
+		for _, q := range c.Queries() {
+			if err := srv.Subscribe(id, q); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	incident := func() {
+		rel.Insert(qsub.Pt(rng.Float64()*city, rng.Float64()*city), []byte("incident"))
+	}
+
+	var mu sync.Mutex
+	consumers := map[int]*qsub.Subscription{}
+	var wg sync.WaitGroup
+	attach := func(cycle *qsub.Cycle) {
+		mu.Lock()
+		defer mu.Unlock()
+		for id, c := range commuters {
+			if _, ok := consumers[id]; ok {
+				continue
+			}
+			sub, err := net.Subscribe(cycle.ClientChannel[id], 64)
+			if err != nil {
+				log.Fatal(err)
+			}
+			consumers[id] = sub
+			wg.Add(1)
+			go func(c *qsub.Client, sub *qsub.Subscription) {
+				defer wg.Done()
+				c.Consume(sub)
+			}(c, sub)
+		}
+	}
+
+	cycle, err := srv.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	attach(cycle)
+	fmt.Printf("period 0: plan cost %.0f (%d merged messages per period)\n",
+		cycle.EstimatedCost, plannedMessages(cycle))
+
+	// Periods 1..3: stream incidents, ship deltas.
+	for period := 1; period <= 3; period++ {
+		for i := 0; i < 40; i++ {
+			incident()
+		}
+		rep, err := srv.PublishDelta(cycle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("period %d: %d new incidents disseminated in %d messages (%d bytes)\n",
+			period, rep.Tuples, rep.Messages, rep.PayloadBytes)
+	}
+
+	// A third commuter appears; incremental re-plan (§11) instead of a
+	// full re-merge.
+	newQuery := qsub.RangeQuery(3, qsub.R(120, 200, 280, 350))
+	commuters[2] = qsub.NewClient(2, newQuery)
+	if err := srv.Subscribe(2, newQuery); err != nil {
+		log.Fatal(err)
+	}
+	cycle, err = srv.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	attach(cycle)
+	fmt.Printf("commuter 2 joined: new plan cost %.0f (%d merged messages per period)\n",
+		cycle.EstimatedCost, plannedMessages(cycle))
+
+	for period := 4; period <= 5; period++ {
+		for i := 0; i < 40; i++ {
+			incident()
+		}
+		rep, err := srv.PublishDelta(cycle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("period %d: %d new incidents disseminated in %d messages (%d bytes)\n",
+			period, rep.Tuples, rep.Messages, rep.PayloadBytes)
+	}
+
+	for _, sub := range consumers {
+		sub.Cancel()
+	}
+	wg.Wait()
+
+	// Each commuter's accumulated view equals the database truth.
+	for id, c := range commuters {
+		for _, q := range c.Queries() {
+			got, want := c.Answer(q.ID), q.Answer(rel)
+			joined := id == 2
+			if joined {
+				// Commuter 2 only saw deltas after joining; its
+				// view may lag the full answer but never exceed
+				// it.
+				if len(got) > len(want) {
+					log.Fatalf("commuter %d has %d tuples, database says %d", id, len(got), len(want))
+				}
+				continue
+			}
+			if len(got) != len(want) {
+				log.Fatalf("commuter %d query %d: %d tuples, want %d", id, q.ID, len(got), len(want))
+			}
+		}
+		st := c.Stats()
+		fmt.Printf("commuter %d: %d messages, %d relevant bytes, %d irrelevant extracted\n",
+			id, st.MessagesAddressed, st.RelevantBytes, st.IrrelevantBytes)
+	}
+}
+
+func plannedMessages(cy *qsub.Cycle) int {
+	n := 0
+	for _, plan := range cy.ChannelPlans {
+		n += len(plan)
+	}
+	return n
+}

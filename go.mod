@@ -1,0 +1,3 @@
+module qsub
+
+go 1.22

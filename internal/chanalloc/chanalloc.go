@@ -1,0 +1,209 @@
+// Package chanalloc implements the channel allocation problem of §7-§8:
+// given clients with query subscriptions and a fixed number of multicast
+// channels, assign each client to exactly one channel so that the total
+// cost of merging and disseminating the per-channel query sets is
+// minimized. Merging and allocation interact (§7.2 shows they cannot be
+// decided separately), so every candidate allocation re-runs the merging
+// algorithm on each channel's queries.
+//
+// The package provides the exhaustive tree search of Fig 13 and the §8.2
+// heuristic: a greedy pairwise initial distribution (Fig 14) followed by
+// hill climbing that moves one client at a time, plus the random-start and
+// best-of-both variants evaluated in Fig 18.
+package chanalloc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"qsub/internal/core"
+)
+
+// Problem is one channel allocation instance. Clients are sets of query
+// indices into the merging instance; Channels is the number of physical
+// multicast channels; Merger is the merging algorithm run per channel
+// (the paper uses Pair Merging so larger query counts stay feasible,
+// §9.4).
+type Problem struct {
+	Inst     *core.Instance
+	Clients  [][]int
+	Channels int
+	Merger   core.Algorithm
+}
+
+// Validate reports whether the problem is well-formed.
+func (p *Problem) Validate() error {
+	if p.Inst == nil {
+		return fmt.Errorf("chanalloc: nil merging instance")
+	}
+	if p.Channels < 1 {
+		return fmt.Errorf("chanalloc: need at least one channel, got %d", p.Channels)
+	}
+	if len(p.Clients) == 0 {
+		return fmt.Errorf("chanalloc: no clients")
+	}
+	for c, qs := range p.Clients {
+		for _, q := range qs {
+			if q < 0 || q >= p.Inst.N {
+				return fmt.Errorf("chanalloc: client %d subscribes to unknown query %d", c, q)
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Problem) merger() core.Algorithm {
+	if p.Merger == nil {
+		return core.PairMerge{}
+	}
+	return p.Merger
+}
+
+// Allocation maps each client (by index) to a channel in [0, Channels).
+type Allocation []int
+
+// Clone returns a copy of the allocation.
+func (a Allocation) Clone() Allocation { return append(Allocation(nil), a...) }
+
+// channelQueries returns the deduplicated, sorted query set subscribed by
+// the given clients.
+func channelQueries(p *Problem, clients []int) []int {
+	seen := map[int]bool{}
+	var qs []int
+	for _, c := range clients {
+		for _, q := range p.Clients[c] {
+			if !seen[q] {
+				seen[q] = true
+				qs = append(qs, q)
+			}
+		}
+	}
+	sort.Ints(qs)
+	return qs
+}
+
+// ChannelCost merges the queries of the given clients with the problem's
+// merging algorithm and returns the resulting cost, including the K_D
+// per-channel maintenance charge when the channel is non-empty. The
+// per-merged-query constant is K_M + K_6·(listeners on this channel):
+// clients only filter the messages of the channel they listen to, which is
+// what couples channel allocation to merging (§7.2).
+func ChannelCost(p *Problem, clients []int) (float64, core.Plan) {
+	qs := channelQueries(p, clients)
+	if len(qs) == 0 {
+		return 0, nil
+	}
+	sub := subInstance(p.Inst, qs)
+	sub.Model.KM += sub.Model.K6 * float64(len(clients))
+	plan := p.merger().Solve(sub)
+	c := sub.Cost(plan) + p.Inst.Model.KD
+	// Map plan back to global query indices.
+	global := make(core.Plan, len(plan))
+	for i, set := range plan {
+		global[i] = make([]int, len(set))
+		for j, q := range set {
+			global[i][j] = qs[q]
+		}
+	}
+	return c, global
+}
+
+// subInstance restricts the merging instance to the given queries.
+func subInstance(inst *core.Instance, members []int) *core.Instance {
+	sub := &core.Instance{
+		N:     len(members),
+		Model: inst.Model,
+	}
+	sub.Sizer = remapSizer{inner: inst, members: members}
+	if inst.Overlap != nil {
+		sub.Overlap = func(i, j int) float64 { return inst.Overlap(members[i], members[j]) }
+	}
+	return sub
+}
+
+// remapSizer translates sub-instance query indices to global indices.
+type remapSizer struct {
+	inner   *core.Instance
+	members []int
+}
+
+func (r remapSizer) Size(i int) float64 { return r.inner.Sizer.Size(r.members[i]) }
+
+func (r remapSizer) MergedSize(set []int) float64 {
+	mapped := make([]int, len(set))
+	for i, q := range set {
+		mapped[i] = r.members[q]
+	}
+	return r.inner.Sizer.MergedSize(mapped)
+}
+
+// Cost returns the total cost of an allocation: the sum over channels of
+// the merged cost of that channel's client queries.
+func Cost(p *Problem, a Allocation) float64 {
+	groups := make([][]int, p.Channels)
+	for client, ch := range a {
+		groups[ch] = append(groups[ch], client)
+	}
+	total := 0.0
+	for _, g := range groups {
+		c, _ := ChannelCost(p, g)
+		total += c
+	}
+	return total
+}
+
+// Plans returns the per-channel merge plans of an allocation, indexed by
+// channel. Channels with no clients have nil plans.
+func Plans(p *Problem, a Allocation) []core.Plan {
+	groups := make([][]int, p.Channels)
+	for client, ch := range a {
+		groups[ch] = append(groups[ch], client)
+	}
+	out := make([]core.Plan, p.Channels)
+	for ch, g := range groups {
+		if len(g) > 0 {
+			_, out[ch] = ChannelCost(p, g)
+		}
+	}
+	return out
+}
+
+// Exhaustive enumerates every assignment of clients to at most Channels
+// indistinguishable channels (the search tree of Fig 13) and returns the
+// cheapest allocation. The number of cases is the sum of Stirling
+// partition numbers, so this is only feasible for small client counts —
+// it serves as the optimal baseline of the Fig 18/19 experiments.
+func Exhaustive(p *Problem) (Allocation, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := len(p.Clients)
+	assign := make([]int, n)
+	best := make(Allocation, n)
+	bestCost := -1.0
+	var rec func(i, blocks int)
+	rec = func(i, blocks int) {
+		if i == n {
+			c := Cost(p, assign)
+			if bestCost < 0 || c < bestCost {
+				bestCost = c
+				copy(best, assign)
+			}
+			return
+		}
+		for b := 0; b < blocks; b++ {
+			assign[i] = b
+			rec(i+1, blocks)
+		}
+		if blocks < p.Channels {
+			assign[i] = blocks
+			rec(i+1, blocks+1)
+		}
+	}
+	rec(0, 0)
+	return best, bestCost, nil
+}
+
+// rng returns a deterministic random source for the given seed.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

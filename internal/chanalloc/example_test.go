@@ -1,0 +1,46 @@
+package chanalloc_test
+
+import (
+	"fmt"
+
+	"qsub/internal/chanalloc"
+	"qsub/internal/core"
+	"qsub/internal/cost"
+	"qsub/internal/geom"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+)
+
+// Example allocates four clients to two channels: the two west-sector
+// clients share one channel (their queries merge), the east-sector
+// clients the other.
+func Example() {
+	qs := []query.Query{
+		query.Range(1, geom.R(0, 0, 100, 100)),     // west
+		query.Range(2, geom.R(20, 20, 120, 120)),   // west
+		query.Range(3, geom.R(900, 0, 1000, 100)),  // east
+		query.Range(4, geom.R(920, 20, 1020, 120)), // east
+	}
+	inst := core.NewGeomInstance(
+		cost.Model{KM: 20000, KT: 1, KU: 0.5, K6: 8000},
+		qs, query.BoundingRect{},
+		relation.Uniform{Density: 0.05, BytesPerTuple: 32},
+	)
+	prob := &chanalloc.Problem{
+		Inst:     inst,
+		Clients:  [][]int{{0}, {1}, {2}, {3}},
+		Channels: 2,
+	}
+	alloc, _, err := chanalloc.Exhaustive(prob)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("west clients share a channel: %t\n", alloc[0] == alloc[1])
+	fmt.Printf("east clients share a channel: %t\n", alloc[2] == alloc[3])
+	fmt.Printf("sectors separated: %t\n", alloc[0] != alloc[2])
+	// Output:
+	// west clients share a channel: true
+	// east clients share a channel: true
+	// sectors separated: true
+}

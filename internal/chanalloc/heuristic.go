@@ -1,0 +1,197 @@
+package chanalloc
+
+// This file implements the §8.2 heuristic: the greedy pairwise initial
+// distribution of Fig 14, the hill-climbing reallocation loop, and the
+// three strategies compared in Fig 18 (smart init, random init, and
+// best-of-both).
+
+// InitialDistribution is the Fig 14 greedy: compute the pairing gain
+// Cost_Δ = Cost{ca} + Cost{cb} − Cost{ca,cb} for every client pair, then
+// repeatedly take the highest-gain pair, allocate both clients to the
+// current channel, drop all pairs touching them, and advance the channel
+// round-robin. Leftover clients are assigned round-robin.
+func InitialDistribution(p *Problem) Allocation {
+	n := len(p.Clients)
+	alloc := make(Allocation, n)
+	for i := range alloc {
+		alloc[i] = -1
+	}
+	single := make([]float64, n)
+	for c := range p.Clients {
+		single[c], _ = ChannelCost(p, []int{c})
+	}
+	type triple struct {
+		a, b int
+		gain float64
+	}
+	var pairs []triple
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			joint, _ := ChannelCost(p, []int{a, b})
+			pairs = append(pairs, triple{a, b, single[a] + single[b] - joint})
+		}
+	}
+	cch := 0
+	for len(pairs) > 0 {
+		bestIdx := 0
+		for i, t := range pairs {
+			if t.gain > pairs[bestIdx].gain {
+				bestIdx = i
+			}
+		}
+		t := pairs[bestIdx]
+		alloc[t.a], alloc[t.b] = cch, cch
+		cch = (cch + 1) % p.Channels
+		kept := pairs[:0]
+		for _, u := range pairs {
+			if u.a != t.a && u.a != t.b && u.b != t.a && u.b != t.b {
+				kept = append(kept, u)
+			}
+		}
+		pairs = kept
+	}
+	for c := 0; c < n; c++ {
+		if alloc[c] < 0 {
+			alloc[c] = cch
+			cch = (cch + 1) % p.Channels
+		}
+	}
+	return alloc
+}
+
+// RandomDistribution assigns each client to a uniformly random channel.
+func RandomDistribution(p *Problem, seed int64) Allocation {
+	rng := newRng(seed)
+	alloc := make(Allocation, len(p.Clients))
+	for i := range alloc {
+		alloc[i] = rng.Intn(p.Channels)
+	}
+	return alloc
+}
+
+// HillClimb improves an allocation by repeatedly moving the single client
+// whose relocation to another channel reduces total cost the most,
+// stopping at a local minimum (§8.2). Per-channel costs are kept in a
+// table (the paper's T) so each candidate move re-evaluates only the two
+// channels it touches.
+func HillClimb(p *Problem, alloc Allocation) Allocation {
+	alloc = alloc.Clone()
+	groups := make([][]int, p.Channels)
+	for client, ch := range alloc {
+		groups[ch] = append(groups[ch], client)
+	}
+	costs := make([]float64, p.Channels)
+	for ch := range groups {
+		costs[ch], _ = ChannelCost(p, groups[ch])
+	}
+	for {
+		bestGain := 1e-9
+		bestClient, bestTo := -1, -1
+		var bestFromCost, bestToCost float64
+		for client := range alloc {
+			from := alloc[client]
+			if len(groups[from]) == 1 && emptyChannels(groups) >= p.Channels-1 {
+				// Moving a lone client between otherwise empty
+				// channels is a no-op.
+				continue
+			}
+			fromWithout := without(groups[from], client)
+			fromCost, _ := ChannelCost(p, fromWithout)
+			for to := 0; to < p.Channels; to++ {
+				if to == from {
+					continue
+				}
+				toWith := append(append([]int{}, groups[to]...), client)
+				toCost, _ := ChannelCost(p, toWith)
+				gain := (costs[from] + costs[to]) - (fromCost + toCost)
+				if gain > bestGain {
+					bestGain = gain
+					bestClient, bestTo = client, to
+					bestFromCost, bestToCost = fromCost, toCost
+				}
+			}
+		}
+		if bestClient < 0 {
+			return alloc
+		}
+		from := alloc[bestClient]
+		groups[from] = without(groups[from], bestClient)
+		groups[bestTo] = append(groups[bestTo], bestClient)
+		costs[from] = bestFromCost
+		costs[bestTo] = bestToCost
+		alloc[bestClient] = bestTo
+	}
+}
+
+func without(clients []int, drop int) []int {
+	out := make([]int, 0, len(clients))
+	for _, c := range clients {
+		if c != drop {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func emptyChannels(groups [][]int) int {
+	n := 0
+	for _, g := range groups {
+		if len(g) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Strategy names the initial-distribution variants compared in Fig 18.
+type Strategy int
+
+const (
+	// SmartInit seeds the hill climb with the Fig 14 greedy pairing.
+	SmartInit Strategy = iota
+	// RandomInit seeds the hill climb with a random distribution.
+	RandomInit
+	// BestOfBoth runs both seeds and keeps the cheaper result.
+	BestOfBoth
+)
+
+// String returns the strategy name used in reports.
+func (s Strategy) String() string {
+	switch s {
+	case SmartInit:
+		return "smart-init"
+	case RandomInit:
+		return "random-init"
+	case BestOfBoth:
+		return "best-of-both"
+	default:
+		return "unknown"
+	}
+}
+
+// Heuristic runs the §8.2 algorithm with the chosen strategy and returns
+// the resulting allocation and its cost.
+func Heuristic(p *Problem, s Strategy, seed int64) (Allocation, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	switch s {
+	case SmartInit:
+		a := HillClimb(p, InitialDistribution(p))
+		return a, Cost(p, a), nil
+	case RandomInit:
+		a := HillClimb(p, RandomDistribution(p, seed))
+		return a, Cost(p, a), nil
+	case BestOfBoth:
+		a1 := HillClimb(p, InitialDistribution(p))
+		a2 := HillClimb(p, RandomDistribution(p, seed))
+		c1, c2 := Cost(p, a1), Cost(p, a2)
+		if c1 <= c2 {
+			return a1, c1, nil
+		}
+		return a2, c2, nil
+	default:
+		a := HillClimb(p, InitialDistribution(p))
+		return a, Cost(p, a), nil
+	}
+}

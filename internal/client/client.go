@@ -1,0 +1,238 @@
+// Package client implements the operating-unit side of the subscription
+// system: a client listens on its assigned multicast channel, filters
+// messages by header, applies the extractor of each of its queries to the
+// merged payload (§3.1), and accumulates per-query answers. It keeps the
+// accounting the cost model charges clients for — irrelevant bytes
+// extracted away and messages filtered — plus sequence-gap detection for
+// the lossy-network failure mode and an optional object cache (future
+// work §11).
+package client
+
+import (
+	"sort"
+	"sync"
+
+	"qsub/internal/multicast"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+)
+
+// Stats is the client-side accounting of one client.
+type Stats struct {
+	// MessagesSeen counts all messages received on the channel.
+	MessagesSeen int
+	// MessagesAddressed counts messages whose header includes this
+	// client.
+	MessagesAddressed int
+	// RelevantBytes is the payload volume that belonged to this
+	// client's query answers.
+	RelevantBytes int
+	// IrrelevantBytes is the payload volume of addressed messages that
+	// the extractors discarded — the per-client share of U(Q,M).
+	IrrelevantBytes int
+	// FilteredBytes is the payload volume of messages not addressed to
+	// this client at all (the k6 filtering work of §4).
+	FilteredBytes int
+	// GapsDetected counts sequence-number gaps (lost messages).
+	GapsDetected int
+	// CacheHits counts tuples skipped by the object cache.
+	CacheHits int
+}
+
+// QueryStats is the per-query accounting of one client.
+type QueryStats struct {
+	// Tuples is the number of distinct tuples currently in the answer.
+	Tuples int
+	// BytesReceived is the cumulative payload volume attributed to this
+	// query across all handled messages.
+	BytesReceived int
+	// Messages counts the messages that contributed to this query.
+	Messages int
+}
+
+// Client consumes one subscription and maintains answers per query.
+// Methods are safe for concurrent use with a running Consume loop.
+type Client struct {
+	id int
+
+	mu       sync.Mutex
+	queries  map[query.ID]query.Query
+	answers  map[query.ID]map[uint64]relation.Tuple
+	perQuery map[query.ID]QueryStats
+	cache    map[uint64]bool
+	caching  bool
+	lastSeq  uint64
+	stats    Stats
+}
+
+// New creates a client with the given id and subscription queries.
+func New(id int, qs ...query.Query) *Client {
+	c := &Client{
+		id:       id,
+		queries:  make(map[query.ID]query.Query),
+		answers:  make(map[query.ID]map[uint64]relation.Tuple),
+		perQuery: make(map[query.ID]QueryStats),
+	}
+	for _, q := range qs {
+		c.queries[q.ID] = q
+		c.answers[q.ID] = make(map[uint64]relation.Tuple)
+	}
+	return c
+}
+
+// ID returns the client identifier used in message headers.
+func (c *Client) ID() int { return c.id }
+
+// EnableCache turns on the object cache: tuples already received (by id)
+// are recognized and counted as cache hits instead of being re-stored.
+func (c *Client) EnableCache() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.caching = true
+	if c.cache == nil {
+		c.cache = make(map[uint64]bool)
+	}
+}
+
+// AddQuery registers an additional subscription query.
+func (c *Client) AddQuery(q query.Query) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.queries[q.ID] = q
+	if c.answers[q.ID] == nil {
+		c.answers[q.ID] = make(map[uint64]relation.Tuple)
+	}
+}
+
+// RemoveQuery drops a subscription query and its accumulated answer.
+func (c *Client) RemoveQuery(id query.ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.queries, id)
+	delete(c.answers, id)
+	delete(c.perQuery, id)
+}
+
+// Handle processes one message: filtering, extraction, accounting.
+func (c *Client) Handle(msg multicast.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.MessagesSeen++
+	if c.lastSeq != 0 && msg.Seq > c.lastSeq+1 {
+		c.stats.GapsDetected += int(msg.Seq - c.lastSeq - 1)
+	}
+	if msg.Seq > c.lastSeq {
+		c.lastSeq = msg.Seq
+	}
+
+	entry, addressed := msg.EntryFor(c.id)
+	payload := msg.PayloadBytes()
+	if !addressed {
+		c.stats.FilteredBytes += payload
+		return
+	}
+	c.stats.MessagesAddressed++
+
+	for _, removed := range msg.Removed {
+		for _, qid := range entry.QueryIDs {
+			if m := c.answers[qid]; m != nil {
+				delete(m, removed)
+			}
+		}
+		if c.caching {
+			delete(c.cache, removed)
+		}
+	}
+
+	relevant := 0
+	touched := map[query.ID]bool{}
+	for _, t := range msg.Tuples {
+		used := false
+		for _, qid := range entry.QueryIDs {
+			q, ok := c.queries[qid]
+			if !ok || !q.Matches(t) {
+				continue
+			}
+			used = true
+			if c.caching && c.cache[t.ID] {
+				c.stats.CacheHits++
+			}
+			stored := t
+			if q.Project != nil {
+				stored.Payload = q.Project(t.Payload)
+			}
+			c.answers[qid][t.ID] = stored
+			qs := c.perQuery[qid]
+			qs.BytesReceived += t.Size()
+			c.perQuery[qid] = qs
+			touched[qid] = true
+		}
+		if used {
+			relevant += t.Size()
+			if c.caching {
+				c.cache[t.ID] = true
+			}
+		}
+	}
+	for qid := range touched {
+		qs := c.perQuery[qid]
+		qs.Messages++
+		qs.Tuples = len(c.answers[qid])
+		c.perQuery[qid] = qs
+	}
+	c.stats.RelevantBytes += relevant
+	c.stats.IrrelevantBytes += payload - relevant
+}
+
+// Consume drains the subscription until it is cancelled or its channel
+// closed, handling every message. It is intended to run on its own
+// goroutine.
+func (c *Client) Consume(sub *multicast.Subscription) {
+	for msg := range sub.C {
+		c.Handle(msg)
+	}
+}
+
+// Answer returns the accumulated answer for the query, sorted by tuple
+// id.
+func (c *Client) Answer(id query.ID) []relation.Tuple {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.answers[id]
+	out := make([]relation.Tuple, 0, len(m))
+	for _, t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Queries returns the client's current subscription queries.
+func (c *Client) Queries() []query.Query {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]query.Query, 0, len(c.queries))
+	for _, q := range c.queries {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats returns a snapshot of the client accounting.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// QueryStatsFor returns the per-query accounting for one subscription.
+func (c *Client) QueryStatsFor(id query.ID) QueryStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	qs := c.perQuery[id]
+	if m := c.answers[id]; m != nil {
+		qs.Tuples = len(m)
+	}
+	return qs
+}

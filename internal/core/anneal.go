@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"qsub/internal/cost"
+)
+
+// Anneal is a simulated-annealing refinement of the directed search idea
+// (§6.2.2): instead of greedy moves from random restarts, it performs a
+// random walk over merge/move/extract moves, accepting uphill moves with
+// probability exp(−Δ/T) under a geometric cooling schedule. It reliably
+// escapes the local minima that trap Pair Merging — including the Fig 6
+// three-query trap — at the price of a fixed step budget.
+type Anneal struct {
+	// Steps is the number of proposed moves; zero means 2000.
+	Steps int
+	// T0 is the initial temperature as a fraction of the initial cost;
+	// zero means 0.05.
+	T0 float64
+	// Cooling is the per-step temperature multiplier; zero means a
+	// schedule that decays T0 to ~1e-3·T0 over Steps.
+	Cooling float64
+	// Seed makes runs deterministic.
+	Seed int64
+}
+
+// Name returns "anneal".
+func (Anneal) Name() string { return "anneal" }
+
+// Solve runs the annealing walk starting from the PairMerge solution and
+// returns the best plan visited.
+func (a Anneal) Solve(inst *Instance) Plan {
+	if inst.N == 0 {
+		return Plan{}
+	}
+	steps := a.Steps
+	if steps == 0 {
+		steps = 2000
+	}
+	rng := rand.New(rand.NewSource(a.Seed))
+
+	plan := PairMerge{}.Solve(inst).Clone()
+	cur := inst.Cost(plan)
+	best := plan.Clone()
+	bestCost := cur
+
+	t0 := a.T0
+	if t0 == 0 {
+		t0 = 0.05
+	}
+	temp := t0 * math.Max(cur, 1)
+	cooling := a.Cooling
+	if cooling == 0 {
+		cooling = math.Pow(1e-3, 1/float64(steps))
+	}
+
+	for step := 0; step < steps; step++ {
+		cand := proposeMove(plan, rng)
+		if cand == nil {
+			temp *= cooling
+			continue
+		}
+		candCost := inst.Cost(cand)
+		delta := candCost - cur
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/math.Max(temp, 1e-12)) {
+			plan, cur = cand, candCost
+			if cur < bestCost {
+				best, bestCost = plan.Clone(), cur
+			}
+		}
+		temp *= cooling
+	}
+	return best.Normalize()
+}
+
+// proposeMove returns a random neighbor of the plan: merge two sets, or
+// move one query into another set or a fresh singleton. It returns nil
+// when no move applies.
+func proposeMove(plan Plan, rng *rand.Rand) Plan {
+	switch rng.Intn(2) {
+	case 0: // merge two random sets
+		if len(plan) < 2 {
+			return nil
+		}
+		i := rng.Intn(len(plan))
+		j := rng.Intn(len(plan) - 1)
+		if j >= i {
+			j++
+		}
+		out := make(Plan, 0, len(plan)-1)
+		merged := append(append([]int{}, plan[i]...), plan[j]...)
+		for k, set := range plan {
+			if k == i || k == j {
+				continue
+			}
+			out = append(out, set)
+		}
+		return append(out, merged)
+	default: // move one query
+		i := rng.Intn(len(plan))
+		set := plan[i]
+		q := set[rng.Intn(len(set))]
+		rest := make([]int, 0, len(set)-1)
+		for _, m := range set {
+			if m != q {
+				rest = append(rest, m)
+			}
+		}
+		out := make(Plan, 0, len(plan)+1)
+		for k, s := range plan {
+			if k == i {
+				if len(rest) > 0 {
+					out = append(out, rest)
+				}
+				continue
+			}
+			out = append(out, append([]int{}, s...))
+		}
+		// Destination: an existing set (other than the origin) or a
+		// new singleton.
+		dest := rng.Intn(len(out) + 1)
+		if dest == len(out) {
+			return append(out, []int{q})
+		}
+		out[dest] = append(out[dest], q)
+		return out
+	}
+}
+
+var _ Algorithm = Anneal{}
+
+// costOfRun is shared by the sweep heuristics: the §4 cost of a merged
+// set given its member count, merged size and member-size sum.
+func costOfRun(m cost.Model, members int, merged, sumSizes float64) float64 {
+	return m.KM + m.KT*merged + m.KU*(float64(members)*merged-sumSizes)
+}

@@ -1,0 +1,118 @@
+package core
+
+import "qsub/internal/cost"
+
+// Clustering is the divide-and-conquer algorithm of §6.3. It computes a
+// pairwise eligibility relation — two queries can share a merged set only
+// if the best-case gain of putting them together is positive (the §6.3
+// bound, refined with intersection sizes when the instance provides an
+// Overlap function) — takes connected components of the eligibility
+// graph, and solves each component independently with an inner algorithm.
+// Components small enough for the exhaustive Partition algorithm are
+// solved optimally; larger ones fall back to the Inner heuristic.
+type Clustering struct {
+	// Inner solves each cluster; nil means PairMerge{}.
+	Inner Algorithm
+	// ExactThreshold is the largest cluster solved with Partition
+	// instead of Inner. Zero disables the exact path.
+	ExactThreshold int
+}
+
+// Name returns "clustering+<inner>".
+func (c Clustering) Name() string {
+	inner := c.Inner
+	if inner == nil {
+		inner = PairMerge{}
+	}
+	return "clustering+" + inner.Name()
+}
+
+// Solve partitions the queries into eligibility clusters and merges within
+// each cluster only.
+func (c Clustering) Solve(inst *Instance) Plan {
+	if inst.N == 0 {
+		return Plan{}
+	}
+	inner := c.Inner
+	if inner == nil {
+		inner = PairMerge{}
+	}
+
+	// Union-find over the eligibility graph.
+	parent := make([]int, inst.N)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < inst.N; i++ {
+		for j := i + 1; j < inst.N; j++ {
+			overlap := 0.0
+			if inst.Overlap != nil {
+				overlap = inst.Overlap(i, j)
+			}
+			m12 := inst.Sizer.MergedSize([]int{i, j})
+			if cost.MergeEligible(inst.Model, inst.Sizer.Size(i), inst.Sizer.Size(j), m12, overlap) {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+
+	clusters := map[int][]int{}
+	for q := 0; q < inst.N; q++ {
+		r := find(q)
+		clusters[r] = append(clusters[r], q)
+	}
+
+	var plan Plan
+	for _, members := range clusters {
+		if len(members) == 1 {
+			plan = append(plan, members)
+			continue
+		}
+		sub := subInstance(inst, members)
+		var subPlan Plan
+		if c.ExactThreshold > 0 && len(members) <= c.ExactThreshold {
+			subPlan = Partition{}.Solve(sub)
+		} else {
+			subPlan = inner.Solve(sub)
+		}
+		for _, set := range subPlan {
+			mapped := make([]int, len(set))
+			for i, q := range set {
+				mapped[i] = members[q]
+			}
+			plan = append(plan, mapped)
+		}
+	}
+	return plan.Normalize()
+}
+
+// subInstance restricts the instance to the given queries, re-indexed
+// 0..len(members)-1.
+func subInstance(inst *Instance, members []int) *Instance {
+	sub := &Instance{
+		N:     len(members),
+		Model: inst.Model,
+		Sizer: cost.Func{
+			SizeFn: func(i int) float64 { return inst.Sizer.Size(members[i]) },
+			MergedFn: func(set []int) float64 {
+				mapped := make([]int, len(set))
+				for i, q := range set {
+					mapped[i] = members[q]
+				}
+				return inst.Sizer.MergedSize(mapped)
+			},
+		},
+	}
+	if inst.Overlap != nil {
+		sub.Overlap = func(i, j int) float64 { return inst.Overlap(members[i], members[j]) }
+	}
+	return sub
+}

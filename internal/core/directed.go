@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+
+	"qsub/internal/cost"
+)
+
+// DirectedSearch is the restart-based local search of §6.2.2. It runs T
+// hill-climbing passes, each from a different random initial partition,
+// and returns the best plan found. In each pass the algorithm considers
+// two kinds of moves — merging two sets, and extracting one query from a
+// set into its own singleton — and greedily applies the move that reduces
+// total cost the most, repeating until no beneficial move exists.
+//
+// The first restart always starts from the all-singletons state so the
+// result is never worse than PairMerge on the same instance modulo
+// tie-breaking; the remaining T−1 restarts are random.
+type DirectedSearch struct {
+	// T is the number of restarts; zero means the default of 8.
+	T int
+	// Seed seeds the random initial states; runs are deterministic for
+	// a fixed seed.
+	Seed int64
+}
+
+// Name returns "directed-search".
+func (DirectedSearch) Name() string { return "directed-search" }
+
+// Solve runs T greedy passes from varied starting partitions.
+func (ds DirectedSearch) Solve(inst *Instance) Plan {
+	t := ds.T
+	if t == 0 {
+		t = 8
+	}
+	if inst.N == 0 {
+		return Plan{}
+	}
+	rng := rand.New(rand.NewSource(ds.Seed))
+	var best Plan
+	bestCost := 0.0
+	for run := 0; run < t; run++ {
+		var start Plan
+		if run == 0 {
+			start = Singletons(inst.N)
+		} else {
+			start = randomPartition(inst.N, rng)
+		}
+		plan := hillClimb(inst, start)
+		c := inst.Cost(plan)
+		if best == nil || c < bestCost {
+			best, bestCost = plan, c
+		}
+	}
+	return best.Normalize()
+}
+
+// randomPartition assigns each query independently to one of a random
+// number of buckets, then drops empty buckets.
+func randomPartition(n int, rng *rand.Rand) Plan {
+	buckets := 1 + rng.Intn(n)
+	tmp := make(Plan, buckets)
+	for q := 0; q < n; q++ {
+		b := rng.Intn(buckets)
+		tmp[b] = append(tmp[b], q)
+	}
+	var out Plan
+	for _, set := range tmp {
+		if len(set) > 0 {
+			out = append(out, set)
+		}
+	}
+	return out
+}
+
+// hillClimb greedily applies the best merge-or-extract move until no move
+// reduces the cost.
+func hillClimb(inst *Instance, plan Plan) Plan {
+	plan = plan.Clone()
+	costs := make([]float64, len(plan))
+	for i, set := range plan {
+		costs[i] = cost.SetCost(inst.Model, inst.Sizer, set)
+	}
+	for {
+		type move struct {
+			gain    float64
+			mergeI  int
+			mergeJ  int
+			extract int // index into plan
+			query   int // position within plan[extract]
+		}
+		best := move{mergeI: -1, extract: -1}
+
+		// Merge moves: combine sets i and j.
+		for i := 0; i < len(plan); i++ {
+			for j := i + 1; j < len(plan); j++ {
+				union := append(append([]int{}, plan[i]...), plan[j]...)
+				gain := costs[i] + costs[j] - cost.SetCost(inst.Model, inst.Sizer, union)
+				if gain > best.gain {
+					best = move{gain: gain, mergeI: i, mergeJ: j, extract: -1}
+				}
+			}
+		}
+		// Extract moves: pull one query out of a multi-query set.
+		for i, set := range plan {
+			if len(set) < 2 {
+				continue
+			}
+			for k := range set {
+				rest := make([]int, 0, len(set)-1)
+				rest = append(rest, set[:k]...)
+				rest = append(rest, set[k+1:]...)
+				newCost := cost.SetCost(inst.Model, inst.Sizer, rest) +
+					cost.SetCost(inst.Model, inst.Sizer, []int{set[k]})
+				gain := costs[i] - newCost
+				if gain > best.gain {
+					best = move{gain: gain, mergeI: -1, extract: i, query: k}
+				}
+			}
+		}
+
+		switch {
+		case best.mergeI >= 0:
+			union := append(append([]int{}, plan[best.mergeI]...), plan[best.mergeJ]...)
+			plan[best.mergeI] = union
+			costs[best.mergeI] = cost.SetCost(inst.Model, inst.Sizer, union)
+			last := len(plan) - 1
+			plan[best.mergeJ] = plan[last]
+			costs[best.mergeJ] = costs[last]
+			plan = plan[:last]
+			costs = costs[:last]
+		case best.extract >= 0:
+			set := plan[best.extract]
+			q := set[best.query]
+			rest := make([]int, 0, len(set)-1)
+			rest = append(rest, set[:best.query]...)
+			rest = append(rest, set[best.query+1:]...)
+			plan[best.extract] = rest
+			costs[best.extract] = cost.SetCost(inst.Model, inst.Sizer, rest)
+			plan = append(plan, []int{q})
+			costs = append(costs, cost.SetCost(inst.Model, inst.Sizer, []int{q}))
+		default:
+			return plan
+		}
+	}
+}

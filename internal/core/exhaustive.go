@@ -1,0 +1,95 @@
+package core
+
+// Exhaustive is the doubly-exponential algorithm of §6.1: it enumerates
+// S(S(Q)), every subcollection of the power set of Q, keeps the
+// subcollections that form a total cover of Q, and returns the cheapest.
+// Unlike Partition it considers covers where a query appears in more than
+// one merged set; under the §4 cost model such covers never win (the
+// single-allocation property, verified by tests), but the algorithm exists
+// to demonstrate exactly that.
+//
+// The cost is O(2^(2^n − 1)); MaxN guards against accidental use on
+// anything but tiny instances.
+type Exhaustive struct {
+	// MaxN is the largest instance the algorithm accepts. Zero means
+	// the default of 4 (2^15 = 32768 candidate collections).
+	MaxN int
+}
+
+// Name returns "exhaustive".
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Solve enumerates every covering subcollection of the power set and
+// returns the cheapest. It panics if the instance exceeds MaxN, because
+// the next size up would take longer than the lifetime of the machine
+// (the paper: "if the partition algorithm takes 1 millisecond for n = 6,
+// the exhaustive algorithm would take 30 centuries").
+func (e Exhaustive) Solve(inst *Instance) Plan {
+	maxN := e.MaxN
+	if maxN == 0 {
+		maxN = 4
+	}
+	if inst.N > maxN {
+		panic("core: Exhaustive limited to tiny instances; use Partition")
+	}
+	if inst.N == 0 {
+		return Plan{}
+	}
+
+	// Step 1 of Fig 7: S(Q), all non-empty subsets of Q.
+	nSubsets := (1 << uint(inst.N)) - 1
+	subsets := make([][]int, nSubsets+1)
+	for mask := 1; mask <= nSubsets; mask++ {
+		var set []int
+		for q := 0; q < inst.N; q++ {
+			if mask&(1<<uint(q)) != 0 {
+				set = append(set, q)
+			}
+		}
+		subsets[mask] = set
+	}
+
+	// Steps 2-4 of Fig 7: enumerate S(S(Q)), keep total covers, pick
+	// the cheapest. A collection is encoded as a bitmask over subset
+	// masks 1..nSubsets.
+	fullCover := nSubsets
+	best := Plan(nil)
+	bestCost := 0.0
+	for coll := uint64(1); coll < 1<<uint(nSubsets); coll++ {
+		covered := 0
+		var plan Plan
+		total := 0.0
+		for mask := 1; mask <= nSubsets; mask++ {
+			if coll&(1<<uint(mask-1)) == 0 {
+				continue
+			}
+			covered |= mask
+			plan = append(plan, subsets[mask])
+			total += setCost(inst, subsets[mask])
+			if best != nil && total >= bestCost {
+				break
+			}
+		}
+		if covered != fullCover {
+			continue
+		}
+		if best == nil || total < bestCost {
+			best = plan.Clone()
+			bestCost = total
+		}
+	}
+	return best.Normalize()
+}
+
+// setCost is cost.SetCost specialized to the instance.
+func setCost(inst *Instance, set []int) float64 {
+	if len(set) == 0 {
+		return 0
+	}
+	merged := inst.Sizer.MergedSize(set)
+	irr := 0.0
+	for _, q := range set {
+		irr += merged - inst.Sizer.Size(q)
+	}
+	return inst.Model.KM + inst.Model.KT*merged + inst.Model.KU*irr
+}

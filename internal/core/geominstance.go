@@ -1,0 +1,56 @@
+package core
+
+import (
+	"qsub/internal/cost"
+	"qsub/internal/geom"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+)
+
+// NewGeomInstance builds a merging instance over geographic queries: the
+// size function delegates to the estimator, the merge function to the
+// chosen merge procedure (Fig 5), and Overlap is estimated for rectangle
+// pairs so the refined clustering bound of §6.3 is available.
+func NewGeomInstance(model cost.Model, qs []query.Query, proc query.MergeProcedure, est relation.Estimator) *Instance {
+	return &Instance{
+		N:     len(qs),
+		Model: model,
+		Sizer: cost.Func{
+			SizeFn: func(i int) float64 { return est.SizeBytes(qs[i].Region) },
+			MergedFn: func(set []int) float64 {
+				members := make([]query.Query, len(set))
+				for i, q := range set {
+					members[i] = qs[q]
+				}
+				return est.SizeBytes(proc.Merge(members))
+			},
+		},
+		Overlap: func(i, j int) float64 {
+			ri, iok := qs[i].Region.(geom.Rect)
+			rj, jok := qs[j].Region.(geom.Rect)
+			if !iok || !jok {
+				return 0
+			}
+			inter := ri.Intersection(rj)
+			if inter.Empty() {
+				return 0
+			}
+			return est.SizeBytes(inter)
+		},
+	}
+}
+
+// MergedRegions materializes the merged query footprint of every set in
+// the plan, in plan order. The server uses this to execute the merged
+// queries against the relation.
+func MergedRegions(qs []query.Query, proc query.MergeProcedure, plan Plan) []geom.Region {
+	out := make([]geom.Region, len(plan))
+	for i, set := range plan {
+		members := make([]query.Query, len(set))
+		for j, q := range set {
+			members[j] = qs[q]
+		}
+		out[i] = proc.Merge(members)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qsub/internal/cost"
+	"qsub/internal/geom"
+	"qsub/internal/query"
+)
+
+// geomInstanceWithQueries builds both the query list and the instance so
+// the geometry-aware heuristics can be tested next to the generic ones.
+func geomInstanceWithQueries(rng *rand.Rand, n int, model cost.Model) ([]query.Query, *Instance) {
+	rects := make([]geom.Rect, n)
+	qs := make([]query.Query, n)
+	for i := range rects {
+		x, y := rng.Float64()*80, rng.Float64()*80
+		rects[i] = geom.RectWH(x, y, rng.Float64()*15+1, rng.Float64()*15+1)
+		qs[i] = query.Range(query.ID(i+1), rects[i])
+	}
+	return qs, geomInstance(model, rects)
+}
+
+func TestAnnealEscapesFig6Trap(t *testing.T) {
+	inst := fig6Instance(paperModel)
+	plan := Anneal{Steps: 3000, Seed: 1}.Solve(inst)
+	want := inst.Cost(Plan{{0, 1, 2}})
+	if got := inst.Cost(plan); got > want+1e-9 {
+		t.Fatalf("anneal cost %g, want the merge-all optimum %g (plan %v)", got, want, plan)
+	}
+}
+
+func TestAnnealNeverWorseThanPairMerge(t *testing.T) {
+	// Annealing starts from the PairMerge plan and only records
+	// improvements, so its best-visited plan can never cost more.
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(8)
+		_, inst := geomInstanceWithQueries(rng, n, paperModel)
+		pm := inst.Cost(PairMerge{}.Solve(inst))
+		an := inst.Cost(Anneal{Steps: 500, Seed: int64(trial)}.Solve(inst))
+		if an > pm+1e-9 {
+			t.Fatalf("anneal %g worse than pair merge %g", an, pm)
+		}
+	}
+}
+
+func TestAnnealProducesValidPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(10)
+		_, inst := geomInstanceWithQueries(rng, n, paperModel)
+		plan := Anneal{Steps: 300, Seed: int64(trial)}.Solve(inst)
+		if !plan.IsPartition(n) {
+			t.Fatalf("anneal produced invalid plan %v for n=%d", plan, n)
+		}
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	_, inst := geomInstanceWithQueries(rand.New(rand.NewSource(32)), 8, paperModel)
+	a := Anneal{Steps: 400, Seed: 9}.Solve(inst)
+	b := Anneal{Steps: 400, Seed: 9}.Solve(inst)
+	if !a.Equal(b) {
+		t.Fatal("same seed should give the same plan")
+	}
+}
+
+func TestZOrderSweepValidAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(8)
+		qs, inst := geomInstanceWithQueries(rng, n, paperModel)
+		plan := ZOrderSweep{Queries: qs}.Solve(inst)
+		if !plan.IsPartition(n) {
+			t.Fatalf("zorder plan %v invalid", plan)
+		}
+		if c := inst.Cost(plan); c > inst.InitialCost()+1e-9 {
+			t.Fatalf("zorder cost %g exceeds initial %g", c, inst.InitialCost())
+		}
+		opt := inst.Cost(Partition{}.Solve(inst))
+		if c := inst.Cost(plan); c < opt-1e-9 {
+			t.Fatalf("zorder cost %g beats the optimum %g", c, opt)
+		}
+	}
+}
+
+func TestZOrderSweepMergesIdenticalQueries(t *testing.T) {
+	r := geom.R(10, 10, 20, 20)
+	qs := make([]query.Query, 5)
+	rects := make([]geom.Rect, 5)
+	for i := range qs {
+		qs[i] = query.Range(query.ID(i+1), r)
+		rects[i] = r
+	}
+	inst := geomInstance(cost.Model{KM: 10, KT: 1, KU: 1}, rects)
+	plan := ZOrderSweep{Queries: qs}.Solve(inst)
+	if len(plan) != 1 || len(plan[0]) != 5 {
+		t.Fatalf("identical queries should merge into one run, got %v", plan)
+	}
+}
+
+func TestZOrderSweepPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched query list should panic")
+		}
+	}()
+	_, inst := geomInstanceWithQueries(rand.New(rand.NewSource(34)), 5, paperModel)
+	ZOrderSweep{Queries: nil}.Solve(inst)
+}
+
+func TestMortonCodeLocality(t *testing.T) {
+	bounds := geom.R(0, 0, 100, 100)
+	near1 := mortonCode(geom.Pt(10, 10), bounds)
+	near2 := mortonCode(geom.Pt(11, 11), bounds)
+	far := mortonCode(geom.Pt(90, 90), bounds)
+	d12 := absDiff(near1, near2)
+	d1f := absDiff(near1, far)
+	if d12 >= d1f {
+		t.Fatalf("nearby points should have closer codes: |a-b|=%d, |a-far|=%d", d12, d1f)
+	}
+	// Degenerate bounds normalize to 0 without panicking.
+	if mortonCode(geom.Pt(5, 5), geom.R(5, 5, 5, 5)) != 0 {
+		t.Fatal("degenerate bounds should map to code 0")
+	}
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestInterleaveBits(t *testing.T) {
+	if got := interleave(0); got != 0 {
+		t.Fatalf("interleave(0) = %d", got)
+	}
+	if got := interleave(1); got != 1 {
+		t.Fatalf("interleave(1) = %d", got)
+	}
+	if got := interleave(0b11); got != 0b101 {
+		t.Fatalf("interleave(0b11) = %b", got)
+	}
+	if got := interleave(0xFFFF); got != 0x5555555555555555&((1<<32)-1) {
+		t.Fatalf("interleave(0xFFFF) = %x", got)
+	}
+}
+
+func TestCostOfRunMatchesSetCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(5)
+		_, inst := geomInstanceWithQueries(rng, n, paperModel)
+		set := make([]int, n)
+		sum := 0.0
+		for i := range set {
+			set[i] = i
+			sum += inst.Sizer.Size(i)
+		}
+		merged := inst.Sizer.MergedSize(set)
+		a := costOfRun(inst.Model, n, merged, sum)
+		b := cost.SetCost(inst.Model, inst.Sizer, set)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("costOfRun %g != SetCost %g", a, b)
+		}
+	}
+}

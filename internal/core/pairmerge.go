@@ -1,0 +1,130 @@
+package core
+
+// PairMerge is the greedy Pair Merging algorithm of §6.2.1. It starts
+// from singleton sets and repeatedly merges the pair of sets with the
+// largest positive Δ-cost
+//
+//	Cost_old − Cost_new = K_M + K_T·(Ra + Rb − Rm) + K_U·(p·Ra + r·Rb − (p+r)·Rm)
+//
+// until no merge reduces total cost. Pair deltas are kept in a Profit
+// Table so that after merging two sets only the entries involving the new
+// set are recomputed (the other pairs are unchanged from the previous
+// iteration), per the optimization described at the end of §6.2.1.
+// NaiveRecompute disables the table for the ablation benchmark.
+type PairMerge struct {
+	// NaiveRecompute recomputes every pair delta on every iteration
+	// instead of maintaining the Profit Table (ablation).
+	NaiveRecompute bool
+}
+
+// Name returns "pair-merge".
+func (PairMerge) Name() string { return "pair-merge" }
+
+// pmSet is one live set during the greedy merge along with its cached
+// merged size.
+type pmSet struct {
+	queries []int
+	merged  float64
+}
+
+// Solve runs the greedy pair merging loop.
+func (pm PairMerge) Solve(inst *Instance) Plan {
+	n := inst.N
+	if n == 0 {
+		return Plan{}
+	}
+	sets := make([]*pmSet, n)
+	for i := 0; i < n; i++ {
+		sets[i] = &pmSet{queries: []int{i}, merged: inst.Sizer.Size(i)}
+	}
+
+	delta := func(a, b *pmSet) (float64, []int) {
+		union := make([]int, 0, len(a.queries)+len(b.queries))
+		union = append(union, a.queries...)
+		union = append(union, b.queries...)
+		rm := inst.Sizer.MergedSize(union)
+		d := inst.Model.KM +
+			inst.Model.KT*(a.merged+b.merged-rm) +
+			inst.Model.KU*(float64(len(a.queries))*a.merged+float64(len(b.queries))*b.merged-float64(len(union))*rm)
+		return d, union
+	}
+
+	// profit[i][j] (i < j) caches Δ-cost of merging sets i and j; valid
+	// bits are invalidated when either endpoint changes.
+	type entry struct {
+		d     float64
+		union []int
+		valid bool
+	}
+	profit := make([][]entry, len(sets))
+	for i := range profit {
+		profit[i] = make([]entry, len(sets))
+	}
+
+	for len(sets) > 1 {
+		bestI, bestJ := -1, -1
+		bestD := 0.0
+		var bestUnion []int
+		for i := 0; i < len(sets); i++ {
+			for j := i + 1; j < len(sets); j++ {
+				var d float64
+				var union []int
+				if !pm.NaiveRecompute && profit[i][j].valid {
+					d, union = profit[i][j].d, profit[i][j].union
+				} else {
+					d, union = delta(sets[i], sets[j])
+					if !pm.NaiveRecompute {
+						profit[i][j] = entry{d: d, union: union, valid: true}
+					}
+				}
+				if d > bestD {
+					bestD, bestI, bestJ, bestUnion = d, i, j, union
+				}
+			}
+		}
+		if bestI < 0 {
+			break // no positive entry in the profit table
+		}
+		// Replace set bestI with the union, drop set bestJ by moving
+		// the last set into its slot, and invalidate affected entries.
+		sets[bestI] = &pmSet{queries: bestUnion, merged: inst.Sizer.MergedSize(bestUnion)}
+		last := len(sets) - 1
+		sets[bestJ] = sets[last]
+		sets = sets[:last]
+		if !pm.NaiveRecompute {
+			for k := 0; k < len(sets); k++ {
+				// Entries touching the merged slot bestI are stale.
+				lo, hi := minInt(k, bestI), maxInt(k, bestI)
+				profit[lo][hi].valid = false
+				// Entries touching slot bestJ now describe the
+				// moved set, so they are stale too.
+				if bestJ < len(sets) {
+					lo, hi = minInt(k, bestJ), maxInt(k, bestJ)
+					profit[lo][hi].valid = false
+				}
+				// Entries that referred to the moved set at its
+				// old position (last) are out of range now.
+			}
+		}
+	}
+
+	plan := make(Plan, len(sets))
+	for i, s := range sets {
+		plan[i] = s.queries
+	}
+	return plan.Normalize()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

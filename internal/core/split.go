@@ -1,0 +1,187 @@
+package core
+
+import (
+	"qsub/internal/cost"
+	"qsub/internal/geom"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+)
+
+// This file implements the query splitting extension of §11 ("splitting a
+// query between 2 clients"): a query's answer may be derived by combining
+// the answers of several merged queries, rather than belonging to exactly
+// one. When a query's footprint is already covered by the union of other
+// merged queries' footprints, transmitting it separately is pure waste —
+// the subscriber can extract its answer from the covering messages.
+//
+// This is strictly outside the partition model: the resulting "plan" maps
+// some queries to a set of merged queries, and the single-allocation
+// property (§6.1.1) no longer applies.
+
+// CoverPlan is the result of split optimization: the merged sets that are
+// actually transmitted, plus for every query dropped from transmission
+// the indices of the covering sets whose combined answers contain it.
+type CoverPlan struct {
+	// Plan is the partition of still-transmitted queries.
+	Plan Plan
+	// Covered maps a dropped query index to the Plan set indices whose
+	// merged regions jointly cover it.
+	Covered map[int][]int
+	// Cost is the model cost of the cover plan, charging each dropped
+	// query K_U for the irrelevant bytes it must filter out of its
+	// covering messages.
+	Cost float64
+}
+
+// SplitQueries refines a base partition plan by dropping transmitted sets
+// whose members can be recovered from the remaining merged answers. For
+// each candidate set it finds the other merged regions intersecting its
+// members, checks geometric coverage, and drops the set when the saved
+// transmission cost exceeds the extra extraction cost. Queries of a
+// dropped set are recorded in Covered.
+//
+// The procedure is greedy and sound: the returned cost is never worse
+// than the base plan's cost, and every query is either in exactly one
+// transmitted set or covered by one or more transmitted sets.
+func SplitQueries(model cost.Model, qs []query.Query, proc query.MergeProcedure, est relation.Estimator, base Plan) CoverPlan {
+	plan := base.Clone().Normalize()
+	inst := NewGeomInstance(model, qs, proc, est)
+
+	regions := MergedRegions(qs, proc, plan)
+	sizes := make([]float64, len(plan))
+	for i := range plan {
+		sizes[i] = est.SizeBytes(regions[i])
+	}
+
+	covered := map[int][]int{}
+	// Track which plan entries remain live; dropped entries become nil.
+	// Sets already serving as coverers are pinned: dropping them would
+	// dangle the earlier assignments.
+	live := make([]bool, len(plan))
+	pinned := make([]bool, len(plan))
+	for i := range live {
+		live[i] = true
+	}
+
+	for i := range plan {
+		if !live[i] || pinned[i] {
+			continue
+		}
+		// Candidate covering sets for every member of set i: all other
+		// live sets.
+		assignment := map[int][]int{}
+		extraExtraction := 0.0
+		ok := true
+		for _, q := range plan[i] {
+			covers := coveringSets(qs[q].Region, regions, live, i)
+			if covers == nil {
+				ok = false
+				break
+			}
+			assignment[q] = covers
+			total := 0.0
+			for _, c := range covers {
+				total += sizes[c]
+			}
+			extraExtraction += total - est.SizeBytes(qs[q].Region)
+		}
+		if !ok {
+			continue
+		}
+		saved := cost.SetCost(inst.Model, inst.Sizer, plan[i])
+		if saved > model.KU*extraExtraction {
+			live[i] = false
+			for q, covers := range assignment {
+				covered[q] = covers
+				for _, c := range covers {
+					pinned[c] = true
+				}
+			}
+		}
+	}
+
+	var out Plan
+	remap := make([]int, len(plan)) // old set index -> new index
+	for i, set := range plan {
+		if live[i] {
+			remap[i] = len(out)
+			out = append(out, set)
+		} else {
+			remap[i] = -1
+		}
+	}
+	for q, covers := range covered {
+		mapped := make([]int, len(covers))
+		for i, c := range covers {
+			mapped[i] = remap[c]
+		}
+		covered[q] = mapped
+	}
+
+	total := inst.Cost(out)
+	outRegions := MergedRegions(qs, proc, out)
+	for q, covers := range covered {
+		extra := -est.SizeBytes(qs[q].Region)
+		for _, c := range covers {
+			extra += est.SizeBytes(outRegions[c])
+		}
+		total += model.KU * extra
+	}
+	return CoverPlan{Plan: out, Covered: covered, Cost: total}
+}
+
+// coveringSets returns a minimal-ish list of live set indices (excluding
+// skip) whose merged regions jointly cover the region, or nil if full
+// coverage is impossible. Candidates are the intersecting sets; after
+// coverage is established, redundant candidates are pruned greedily.
+func coveringSets(r geom.Region, regions []geom.Region, live []bool, skip int) []int {
+	br := r.BoundingRect()
+	var candidates []int
+	for i, mr := range regions {
+		if i == skip || !live[i] || mr == nil {
+			continue
+		}
+		if mr.BoundingRect().Intersects(br) {
+			candidates = append(candidates, i)
+		}
+	}
+	if !coversRegion(r, regions, candidates) {
+		return nil
+	}
+	// Prune: try removing each candidate, keeping the cover valid.
+	for i := 0; i < len(candidates); i++ {
+		trial := append(append([]int{}, candidates[:i]...), candidates[i+1:]...)
+		if len(trial) > 0 && coversRegion(r, regions, trial) {
+			candidates = trial
+			i--
+		}
+	}
+	return candidates
+}
+
+// coversRegion reports whether the union of the chosen merged regions
+// contains the query region. All region kinds are reduced to rectangles
+// for the union test: rectangle regions exactly, others via their exact
+// member rectangles (unions) or bounding rectangles (polygons are convex
+// supersets of their queries, so using them directly would over-approximate;
+// we conservatively use only rect and union members and bail out
+// otherwise).
+func coversRegion(r geom.Region, regions []geom.Region, chosen []int) bool {
+	var cover []geom.Rect
+	for _, i := range chosen {
+		switch t := regions[i].(type) {
+		case geom.Rect:
+			cover = append(cover, t)
+		case geom.Union:
+			cover = append(cover, t...)
+		default:
+			// Convex polygons: a rectangle inscribed test would be
+			// needed for exactness; be conservative and refuse.
+			return false
+		}
+	}
+	if len(cover) == 0 {
+		return false
+	}
+	return query.Covers(geom.Union(cover), r)
+}

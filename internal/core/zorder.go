@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"qsub/internal/geom"
+	"qsub/internal/query"
+)
+
+// ZOrderSweep is a space-filling-curve heuristic: queries are ordered by
+// the Morton (Z-order) code of their center points, and the cheapest
+// partition into runs contiguous in that order is found by an O(n²)
+// dynamic program over the instance's sizer. Spatially close queries are
+// close on the curve, so contiguous runs approximate spatial clusters —
+// a classic trick for turning 2-D grouping into the 1-D problem the
+// interval package solves exactly.
+//
+// Unlike the generic algorithms, the sweep needs query geometry, so it is
+// constructed from the query list.
+type ZOrderSweep struct {
+	// Queries provides the geometry; indices must match the instance.
+	Queries []query.Query
+}
+
+// Name returns "zorder-sweep".
+func (ZOrderSweep) Name() string { return "zorder-sweep" }
+
+// Solve orders the queries along the Z-curve and runs the contiguous DP.
+func (z ZOrderSweep) Solve(inst *Instance) Plan {
+	n := inst.N
+	if n == 0 {
+		return Plan{}
+	}
+	if len(z.Queries) < n {
+		panic("core: ZOrderSweep queries do not match the instance")
+	}
+	// Normalize centers into [0, 1<<16) per axis over the workload's
+	// bounding box, then interleave bits.
+	bounds := geom.EmptyRect()
+	centers := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		br := z.Queries[i].Region.BoundingRect()
+		centers[i] = geom.Pt((br.MinX+br.MaxX)/2, (br.MinY+br.MaxY)/2)
+		bounds = bounds.Union(br)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	codes := make([]uint64, n)
+	for i, c := range centers {
+		codes[i] = mortonCode(c, bounds)
+	}
+	sort.Slice(order, func(a, b int) bool { return codes[order[a]] < codes[order[b]] })
+
+	// Contiguous DP over the Z-ordered sequence.
+	const inf = math.MaxFloat64
+	sizes := make([]float64, n)
+	prefix := make([]float64, n+1)
+	for i, idx := range order {
+		sizes[i] = inst.Sizer.Size(idx)
+		prefix[i+1] = prefix[i] + sizes[i]
+	}
+	best := make([]float64, n+1)
+	split := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		best[i] = inf
+		run := make([]int, 0, i)
+		for j := i - 1; j >= 0; j-- {
+			run = append(run, order[j])
+			merged := inst.Sizer.MergedSize(run)
+			c := best[j] + costOfRun(inst.Model, i-j, merged, prefix[i]-prefix[j])
+			if c < best[i] {
+				best[i] = c
+				split[i] = j
+			}
+		}
+	}
+
+	var plan Plan
+	for i := n; i > 0; i = split[i] {
+		j := split[i]
+		set := make([]int, 0, i-j)
+		for k := j; k < i; k++ {
+			set = append(set, order[k])
+		}
+		plan = append(plan, set)
+	}
+	return plan.Normalize()
+}
+
+// mortonCode interleaves 16-bit normalized x and y coordinates.
+func mortonCode(p geom.Point, bounds geom.Rect) uint64 {
+	nx := normalize(p.X, bounds.MinX, bounds.MaxX)
+	ny := normalize(p.Y, bounds.MinY, bounds.MaxY)
+	return interleave(nx) | interleave(ny)<<1
+}
+
+func normalize(v, lo, hi float64) uint32 {
+	if hi <= lo {
+		return 0
+	}
+	f := (v - lo) / (hi - lo)
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return uint32(f * 65535)
+}
+
+// interleave spreads the low 16 bits of v so there is a zero bit between
+// each pair of consecutive bits.
+func interleave(v uint32) uint64 {
+	x := uint64(v) & 0xFFFF
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+var _ Algorithm = ZOrderSweep{}

@@ -1,0 +1,308 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// fig6Sizer is the abstract instance of the paper's 3-query example
+// (§5.1, Fig 6 and Appendix 1): size(q1) = size(q2) = 2S, size(q3) = S,
+// and every merged pair or triple has size 4S.
+func fig6Sizer(s float64) Sizer {
+	return Func{
+		SizeFn: func(i int) float64 {
+			if i == 2 {
+				return s
+			}
+			return 2 * s
+		},
+		MergedFn: func(set []int) float64 {
+			switch len(set) {
+			case 1:
+				if set[0] == 2 {
+					return s
+				}
+				return 2 * s
+			default:
+				return 4 * s
+			}
+		},
+	}
+}
+
+func TestSetCostSingleton(t *testing.T) {
+	m := Model{KM: 10, KT: 2, KU: 5}
+	s := Func{SizeFn: func(int) float64 { return 7 }}
+	got := SetCost(m, s, []int{0})
+	// Singleton has no irrelevant info: K_M + K_T·7.
+	if got != 10+2*7 {
+		t.Fatalf("SetCost = %g, want 24", got)
+	}
+	if SetCost(m, s, nil) != 0 {
+		t.Fatal("empty set should cost 0")
+	}
+}
+
+func TestPlanCostAdds(t *testing.T) {
+	m := Model{KM: 1, KT: 1, KU: 1}
+	s := fig6Sizer(1)
+	plan := [][]int{{0}, {1}, {2}}
+	want := SetCost(m, s, []int{0}) + SetCost(m, s, []int{1}) + SetCost(m, s, []int{2})
+	if got := PlanCost(m, s, plan); got != want {
+		t.Fatalf("PlanCost = %g, want %g", got, want)
+	}
+}
+
+// TestAppendix1Costs checks the five partition costs of Appendix 1 with
+// the corrected arithmetic. The appendix as printed contains a typo in
+// the "merge q1 and q3" case (it writes 4·K_T·S where the stated sizes
+// give K_T·(size(q2) + size(mrg(q1,q3))) = 6·K_T·S); the corrected costs
+// still satisfy the paper's headline claim, as TestAppendix1Example
+// verifies with the paper's own constants.
+func TestAppendix1Costs(t *testing.T) {
+	const S = 1.0
+	m := Model{KM: 3, KT: 5, KU: 7} // arbitrary distinct constants
+	s := fig6Sizer(S)
+	cases := []struct {
+		name string
+		plan [][]int
+		want float64
+	}{
+		{"no merging", [][]int{{0}, {1}, {2}}, 3*m.KM + 5*m.KT*S},
+		{"merge q1,q2", [][]int{{0, 1}, {2}}, 2*m.KM + 5*m.KT*S + 4*m.KU*S},
+		{"merge q1,q3", [][]int{{0, 2}, {1}}, 2*m.KM + 6*m.KT*S + 5*m.KU*S},
+		{"merge q2,q3", [][]int{{1, 2}, {0}}, 2*m.KM + 6*m.KT*S + 5*m.KU*S},
+		{"merge all", [][]int{{0, 1, 2}}, m.KM + 4*m.KT*S + 7*m.KU*S},
+	}
+	for _, c := range cases {
+		if got := PlanCost(m, s, c.plan); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: cost = %g, want %g", c.name, got, c.want)
+		}
+	}
+}
+
+// TestAppendix1Example verifies the paper's satisfiability claim: with
+// S = 1, K_M = 10, K_T = 9, K_U = 4, merging all three queries is strictly
+// cheaper than not merging, and merging any pair is strictly worse than
+// not merging.
+func TestAppendix1Example(t *testing.T) {
+	m := Model{KM: 10, KT: 9, KU: 4}
+	s := fig6Sizer(1)
+	none := PlanCost(m, s, [][]int{{0}, {1}, {2}})
+	all := PlanCost(m, s, [][]int{{0, 1, 2}})
+	pairs := [][][]int{
+		{{0, 1}, {2}},
+		{{0, 2}, {1}},
+		{{1, 2}, {0}},
+	}
+	if !(all < none) {
+		t.Fatalf("merging all (%g) should beat no merging (%g)", all, none)
+	}
+	for _, p := range pairs {
+		if c := PlanCost(m, s, p); !(c > none) {
+			t.Fatalf("pair plan %v (%g) should be worse than no merging (%g)", p, c, none)
+		}
+	}
+}
+
+// TestEquation1Conditions verifies the corrected Equation 1 region: for
+// S strictly inside the region, merge-all is optimal and no pair is
+// beneficial; outside it, at least one condition fails.
+func TestEquation1Conditions(t *testing.T) {
+	m := Model{KM: 10, KT: 9, KU: 4}
+	// Corrected bounds (see TestAppendix1Costs for the typo note):
+	// S > K_M/(4·K_U), S > K_M/(5·K_U + K_T), S < 2·K_M/(7·K_U − K_T).
+	lo := math.Max(m.KM/(4*m.KU), m.KM/(5*m.KU+m.KT))
+	hi := 2 * m.KM / (7*m.KU - m.KT)
+	if !(lo < hi) {
+		t.Fatalf("region empty: lo %g, hi %g", lo, hi)
+	}
+	for _, S := range []float64{lo + 0.01, (lo + hi) / 2, hi - 0.01} {
+		s := fig6Sizer(S)
+		none := PlanCost(m, s, [][]int{{0}, {1}, {2}})
+		all := PlanCost(m, s, [][]int{{0, 1, 2}})
+		pair := PlanCost(m, s, [][]int{{0, 1}, {2}})
+		if !(all < none && pair > none) {
+			t.Fatalf("S=%g inside region but all=%g none=%g pair=%g", S, all, none, pair)
+		}
+	}
+	// Below the lower bound the "no pair is beneficial" part fails:
+	// merging q1,q2 beats not merging.
+	s := fig6Sizer(lo * 0.5)
+	if !(PlanCost(m, s, [][]int{{0, 1}, {2}}) < PlanCost(m, s, [][]int{{0}, {1}, {2}})) {
+		t.Fatalf("below S=%g the pair merge should be beneficial", lo)
+	}
+	// Above the upper bound the "merge-all is optimal" part fails.
+	s = fig6Sizer(hi * 2)
+	if PlanCost(m, s, [][]int{{0, 1, 2}}) < PlanCost(m, s, [][]int{{0}, {1}, {2}}) {
+		t.Fatalf("above S=%g merge-all should not be beneficial", hi)
+	}
+}
+
+func TestShouldMergePair(t *testing.T) {
+	m := Model{KM: 10, KT: 1, KU: 1}
+	// Identical queries: s1 = s2 = s3 = 5. Rule: 10 + 1·5 + 1·(−5)·... =
+	// 10 + (5+5−5) + (5+5−10) = 15 > 0 → merge.
+	if !ShouldMergePair(m, 5, 5, 5) {
+		t.Fatal("identical queries should merge")
+	}
+	// Distant queries: merged size far exceeds the sum.
+	if ShouldMergePair(m, 5, 5, 100) {
+		t.Fatal("distant queries should not merge")
+	}
+}
+
+func TestPairDeltaMatchesCostDifference(t *testing.T) {
+	// PairDelta must equal SetCost(a) + SetCost(b) − SetCost(a∪b)
+	// for any sizer: this is the identity §6.2.1 derives.
+	m := Model{KM: 3, KT: 2, KU: 7}
+	s := fig6Sizer(1.5)
+	a := []int{0}
+	b := []int{1, 2}
+	union := []int{0, 1, 2}
+	want := SetCost(m, s, a) + SetCost(m, s, b) - SetCost(m, s, union)
+	got := PairDelta(m, len(a), s.MergedSize(a), len(b), s.MergedSize(b), s.MergedSize(union))
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PairDelta = %g, cost difference = %g", got, want)
+	}
+}
+
+func TestPairDeltaReducesToTwoQueryRule(t *testing.T) {
+	m := Model{KM: 4, KT: 3, KU: 2}
+	s1, s2, s3 := 5.0, 7.0, 9.0
+	delta := PairDelta(m, 1, s1, 1, s2, s3)
+	rule := m.KM + m.KT*(s1+s2-s3) + m.KU*(s1+s2-2*s3)
+	if math.Abs(delta-rule) > 1e-12 {
+		t.Fatalf("PairDelta = %g, 2-query rule = %g", delta, rule)
+	}
+	if (delta > 0) != ShouldMergePair(m, s1, s2, s3) {
+		t.Fatal("PairDelta sign must agree with ShouldMergePair")
+	}
+}
+
+func TestIrrelevantAndTransmit(t *testing.T) {
+	s := fig6Sizer(1)
+	plan := [][]int{{0, 1}, {2}}
+	// Merged set {0,1}: size 4, irrelevant (4−2)+(4−2) = 4. Singleton
+	// {2}: size 1, irrelevant 0.
+	if got := Irrelevant(s, plan); got != 4 {
+		t.Fatalf("Irrelevant = %g, want 4", got)
+	}
+	if got := TransmitSize(s, plan); got != 5 {
+		t.Fatalf("TransmitSize = %g, want 5", got)
+	}
+}
+
+func TestMergeEligible(t *testing.T) {
+	m := Model{KM: 10, KT: 0, KU: 1}
+	// Best-case irrelevant bytes 2·m12 − s1 − s2 = 2·8 − 5 − 5 = 6 < K_M.
+	if !MergeEligible(m, 5, 5, 8, 0) {
+		t.Fatal("pair with small added irrelevant info should be eligible")
+	}
+	// 2·100 − 10 = 190 > K_M: can never pay off.
+	if MergeEligible(m, 5, 5, 100, 0) {
+		t.Fatal("pair with huge merged size should be pruned")
+	}
+	// A large overlap can restore eligibility when K_T > 0.
+	m2 := Model{KM: 1, KT: 5, KU: 1}
+	if !MergeEligible(m2, 50, 50, 60, 40) {
+		t.Fatal("large overlap should make pair eligible")
+	}
+}
+
+func TestMemoMatchesInner(t *testing.T) {
+	calls := 0
+	inner := Func{
+		SizeFn: func(i int) float64 { return float64(i + 1) },
+		MergedFn: func(set []int) float64 {
+			calls++
+			total := 0.0
+			for _, q := range set {
+				total += float64(q + 1)
+			}
+			return total
+		},
+	}
+	memo := NewMemo(inner, 4)
+	set := []int{0, 2, 3}
+	a := memo.MergedSize(set)
+	b := memo.MergedSize([]int{3, 0, 2}) // different order, same subset
+	if a != b || a != 1+3+4 {
+		t.Fatalf("memo results %g, %g; want 8", a, b)
+	}
+	if calls != 1 {
+		t.Fatalf("inner MergedFn called %d times, want 1", calls)
+	}
+	if memo.Size(2) != 3 {
+		t.Fatalf("memo Size(2) = %g, want 3", memo.Size(2))
+	}
+	if memo.MergedSize([]int{1}) != 2 {
+		t.Fatal("singleton should use cached size, not MergedFn")
+	}
+}
+
+func TestMemoRejectsLargeInstances(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMemo should panic for n > 64")
+		}
+	}()
+	NewMemo(Func{SizeFn: func(int) float64 { return 1 }}, 65)
+}
+
+func TestQuickSingleAllocationDominance(t *testing.T) {
+	// §6.1.1: removing a duplicated query from a merged set never
+	// increases the cost. We verify the underlying monotonicity: for a
+	// monotone sizer, SetCost of a set with one element removed plus the
+	// singleton never... — directly: cost of {a,b} ≤ cost of {a,b} with b
+	// duplicated charged twice. Here we check the simpler invariant the
+	// proof uses: SetCost is monotone in K_U·irrelevant and dropping a
+	// query from a set reduces its irrelevant term.
+	f := func(km, kt, ku, s1, s2, s3 uint8) bool {
+		m := Model{KM: float64(km), KT: float64(kt), KU: float64(ku)}
+		sz := []float64{float64(s1) + 1, float64(s2) + 1, float64(s3) + 1}
+		merged := sz[0] + sz[1] + sz[2] // monotone upper bound
+		sizer := Func{
+			SizeFn: func(i int) float64 { return sz[i] },
+			MergedFn: func(set []int) float64 {
+				if len(set) == 1 {
+					return sz[set[0]]
+				}
+				return merged
+			},
+		}
+		// A plan where q0 appears in two sets costs at least as much
+		// as the plan with the duplicate removed.
+		dup := SetCost(m, sizer, []int{0, 1}) + SetCost(m, sizer, []int{0, 2})
+		nodup := SetCost(m, sizer, []int{0, 1}) + SetCost(m, sizer, []int{2})
+		return nodup <= dup+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquation1Bounds(t *testing.T) {
+	m := Model{KM: 10, KT: 9, KU: 4}
+	lo, hi := Equation1Bounds(m)
+	if !(lo < 1 && 1 < hi) {
+		t.Fatalf("paper's example S=1 should lie in (%g, %g)", lo, hi)
+	}
+	// Inside the region: merge-all optimal, no pair beneficial (checked
+	// exhaustively over the five partitions).
+	for _, S := range []float64{lo * 1.01, (lo + hi) / 2, hi * 0.99} {
+		s := fig6Sizer(S)
+		none := PlanCost(m, s, [][]int{{0}, {1}, {2}})
+		all := PlanCost(m, s, [][]int{{0, 1, 2}})
+		pair := PlanCost(m, s, [][]int{{0, 1}, {2}})
+		if !(all < none && pair > none) {
+			t.Fatalf("S=%g inside bounds but claim fails", S)
+		}
+	}
+	// A model where 7·K_U ≤ K_T has no upper bound.
+	_, hi2 := Equation1Bounds(Model{KM: 10, KT: 100, KU: 1})
+	if !math.IsInf(hi2, 1) {
+		t.Fatalf("hi = %g, want +Inf when K_T dominates", hi2)
+	}
+}

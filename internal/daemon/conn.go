@@ -1,0 +1,103 @@
+package daemon
+
+import (
+	"fmt"
+	"net"
+
+	"qsub/internal/multicast"
+	"qsub/internal/query"
+	"qsub/internal/wire"
+)
+
+// Conn is the client side of a daemon session: it subscribes queries and
+// consumes the assignment and answer frames the daemon pushes.
+type Conn struct {
+	conn     net.Conn
+	clientID int
+}
+
+// Dial connects to a daemon and introduces the client.
+func Dial(addr string, clientID int) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(c, wire.TypeHello, wire.MarshalHello(wire.Hello{ClientID: clientID})); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &Conn{conn: c, clientID: clientID}, nil
+}
+
+// ClientID returns the id this connection introduced itself with.
+func (c *Conn) ClientID() int { return c.clientID }
+
+// Subscribe registers a query with the daemon.
+func (c *Conn) Subscribe(q query.Query) error {
+	payload, err := wire.MarshalSubscribe(wire.Subscribe{Query: q})
+	if err != nil {
+		return err
+	}
+	return wire.WriteFrame(c.conn, wire.TypeSubscribe, payload)
+}
+
+// Unsubscribe removes a query by id.
+func (c *Conn) Unsubscribe(id query.ID) error {
+	return wire.WriteFrame(c.conn, wire.TypeUnsubscribe, wire.MarshalUnsubscribe(wire.Unsubscribe{ID: id}))
+}
+
+// Ready signals that the client finished registering subscriptions.
+func (c *Conn) Ready() error {
+	return wire.WriteFrame(c.conn, wire.TypeReady, nil)
+}
+
+// Event is one server-pushed frame, decoded. Exactly one field is set.
+type Event struct {
+	// Assigned is the channel assignment after a planning cycle.
+	Assigned *wire.Assigned
+	// Answer is one merged answer message.
+	Answer *multicast.Message
+	// Err is a server-reported error.
+	Err *wire.Error
+}
+
+// Next blocks for the next server-pushed event. It returns an error when
+// the connection ends or an unexpected frame arrives.
+func (c *Conn) Next() (Event, error) {
+	for {
+		ft, payload, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			return Event{}, err
+		}
+		switch ft {
+		case wire.TypeAssigned:
+			a, err := wire.UnmarshalAssigned(payload)
+			if err != nil {
+				return Event{}, err
+			}
+			return Event{Assigned: &a}, nil
+		case wire.TypeAnswer:
+			m, err := wire.UnmarshalMessage(payload)
+			if err != nil {
+				return Event{}, err
+			}
+			return Event{Answer: &m}, nil
+		case wire.TypeError:
+			e, err := wire.UnmarshalError(payload)
+			if err != nil {
+				return Event{}, err
+			}
+			return Event{Err: &e}, nil
+		case wire.TypeBye:
+			return Event{}, fmt.Errorf("daemon: server said goodbye")
+		default:
+			return Event{}, fmt.Errorf("daemon: unexpected frame type %d", ft)
+		}
+	}
+}
+
+// Close ends the session politely.
+func (c *Conn) Close() error {
+	_ = wire.WriteFrame(c.conn, wire.TypeBye, nil)
+	return c.conn.Close()
+}

@@ -1,0 +1,451 @@
+// Package daemon turns the subscription system into a network service: a
+// TCP listener speaking the wire protocol, bridging connected clients to
+// the in-process multicast network. Each connected client registers
+// subscriptions, is told its channel assignment after every planning
+// cycle, and receives the merged answers of its channel as TypeAnswer
+// frames — the deployable version of the BADD dissemination loop (§2).
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"qsub/internal/multicast"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+	"qsub/internal/server"
+	"qsub/internal/trace"
+	"qsub/internal/wire"
+)
+
+// Daemon is the network front end of a subscription server. Plans are
+// cached across cycles and recomputed only when subscriptions changed or
+// the drift monitor reports that database churn invalidated the cost
+// estimates (§11 dynamic scenario).
+type Daemon struct {
+	srv *server.Server
+	net *multicast.Network
+
+	mu       sync.Mutex
+	sessions map[int]*session
+	closed   bool
+
+	planMu   sync.Mutex
+	cycle    *server.Cycle
+	dirty    bool
+	estimate float64
+	drift    server.DriftMonitor
+	replans  int
+
+	wg sync.WaitGroup
+	// Logf receives diagnostic messages; nil silences them.
+	Logf func(format string, args ...any)
+	// Trace, when set, records control-plane events (plans, publishes,
+	// subscription changes, drift) as JSON lines.
+	Trace *trace.Recorder
+}
+
+// session is one connected TCP client.
+type session struct {
+	clientID int
+	conn     net.Conn
+
+	writeMu sync.Mutex // serializes frames onto conn
+
+	mu  sync.Mutex
+	sub *multicast.Subscription // current channel attachment
+}
+
+// New creates a daemon over a relation with the given channel count and
+// server configuration.
+func New(rel *relation.Relation, channels int, cfg server.Config) (*Daemon, error) {
+	mnet, err := multicast.NewNetwork(channels)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(rel, mnet, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Daemon{
+		srv:      srv,
+		net:      mnet,
+		sessions: make(map[int]*session),
+	}, nil
+}
+
+// Server exposes the underlying subscription server (for data loading and
+// direct planning in tests).
+func (d *Daemon) Server() *server.Server { return d.srv }
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.Logf != nil {
+		d.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections until the listener fails or Close is called.
+func (d *Daemon) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			d.mu.Lock()
+			closed := d.closed
+			d.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			if err := d.handle(conn); err != nil && err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				d.logf("daemon: session error: %v", err)
+			}
+		}()
+	}
+}
+
+// handle runs one client session: Hello, then subscription management
+// until Bye or disconnect.
+func (d *Daemon) handle(conn net.Conn) error {
+	defer conn.Close()
+	ft, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	if ft != wire.TypeHello {
+		return fmt.Errorf("daemon: expected Hello, got frame type %d", ft)
+	}
+	hello, err := wire.UnmarshalHello(payload)
+	if err != nil {
+		return err
+	}
+	sess := &session{clientID: hello.ClientID, conn: conn}
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return errors.New("daemon: closed")
+	}
+	if _, dup := d.sessions[hello.ClientID]; dup {
+		d.mu.Unlock()
+		sess.sendError(fmt.Sprintf("client id %d already connected", hello.ClientID))
+		return fmt.Errorf("daemon: duplicate client id %d", hello.ClientID)
+	}
+	d.sessions[hello.ClientID] = sess
+	d.mu.Unlock()
+	defer d.dropSession(sess)
+
+	for {
+		ft, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return err
+		}
+		switch ft {
+		case wire.TypeSubscribe:
+			sub, err := wire.UnmarshalSubscribe(payload)
+			if err != nil {
+				return err
+			}
+			if err := d.srv.Subscribe(sess.clientID, sub.Query); err != nil {
+				sess.sendError(err.Error())
+			} else {
+				d.markDirty()
+				d.record(trace.Event{Kind: trace.KindSubscribe,
+					ClientID: sess.clientID, QueryID: uint64(sub.Query.ID)})
+			}
+		case wire.TypeUnsubscribe:
+			unsub, err := wire.UnmarshalUnsubscribe(payload)
+			if err != nil {
+				return err
+			}
+			if !d.srv.Unsubscribe(sess.clientID, unsub.ID) {
+				sess.sendError(fmt.Sprintf("no subscription with id %d", unsub.ID))
+			} else {
+				d.markDirty()
+				d.record(trace.Event{Kind: trace.KindUnsubscribe,
+					ClientID: sess.clientID, QueryID: uint64(unsub.ID)})
+			}
+		case wire.TypeReady:
+			// Ready is a synchronization hint: clients send it after
+			// their subscriptions so the operator (or test) knows a
+			// cycle can run. The daemon itself plans on RunCycle.
+		case wire.TypeBye:
+			return nil
+		default:
+			return fmt.Errorf("daemon: unexpected frame type %d", ft)
+		}
+	}
+}
+
+// dropSession removes a finished session and releases its queries so the
+// next cycle stops addressing a gone client.
+func (d *Daemon) dropSession(sess *session) {
+	d.mu.Lock()
+	if d.sessions[sess.clientID] == sess {
+		delete(d.sessions, sess.clientID)
+	}
+	d.mu.Unlock()
+	sess.mu.Lock()
+	if sess.sub != nil {
+		sess.sub.Cancel()
+		sess.sub = nil
+	}
+	sess.mu.Unlock()
+	for _, q := range d.clientQueries(sess.clientID) {
+		d.srv.Unsubscribe(sess.clientID, q)
+	}
+	d.markDirty()
+}
+
+// record emits one trace event when tracing is enabled.
+func (d *Daemon) record(ev trace.Event) {
+	if d.Trace != nil {
+		d.Trace.Record(ev)
+	}
+}
+
+// markDirty forces a re-plan on the next cycle.
+func (d *Daemon) markDirty() {
+	d.planMu.Lock()
+	d.dirty = true
+	d.planMu.Unlock()
+}
+
+// Replans returns how many times the daemon has re-planned.
+func (d *Daemon) Replans() int {
+	d.planMu.Lock()
+	defer d.planMu.Unlock()
+	return d.replans
+}
+
+// clientQueries lists the query ids a client currently subscribes, via a
+// throwaway plan; used only during session teardown.
+func (d *Daemon) clientQueries(clientID int) []query.ID {
+	cy, err := d.srv.Plan()
+	if err != nil {
+		return nil
+	}
+	var ids []query.ID
+	for i, owner := range cy.Owners {
+		if owner == clientID {
+			ids = append(ids, cy.Queries[i].ID)
+		}
+	}
+	return ids
+}
+
+// RunCycle publishes the current merged plan (full answers when delta is
+// false, per-period deltas when true). The plan is recomputed — and every
+// connected client re-informed of its channel assignment — only when
+// subscriptions changed since the last cycle or the drift monitor reports
+// that the cached plan's size estimates no longer match reality.
+func (d *Daemon) RunCycle(delta bool) (server.Report, error) {
+	d.planMu.Lock()
+	needPlan := d.cycle == nil || d.dirty || d.drift.ShouldReplan()
+	cy := d.cycle
+	d.planMu.Unlock()
+
+	if needPlan {
+		fresh, err := d.srv.Plan()
+		if err != nil {
+			return server.Report{}, err
+		}
+		cy = fresh
+		d.planMu.Lock()
+		d.cycle = fresh
+		d.dirty = false
+		d.replans++
+		d.drift.Reset()
+		d.estimate = d.srv.EstimatedTransmitBytes(fresh)
+		d.planMu.Unlock()
+		sets := 0
+		for _, plan := range fresh.ChannelPlans {
+			sets += len(plan)
+		}
+		d.record(trace.Event{Kind: trace.KindPlan,
+			Queries: len(fresh.Queries), MergedSets: sets,
+			Channels:      d.net.Channels(),
+			EstimatedCost: fresh.EstimatedCost, InitialCost: fresh.InitialCost})
+
+		d.mu.Lock()
+		sessions := make([]*session, 0, len(d.sessions))
+		for _, s := range d.sessions {
+			sessions = append(sessions, s)
+		}
+		d.mu.Unlock()
+		for _, sess := range sessions {
+			ch, ok := cy.ClientChannel[sess.clientID]
+			if !ok {
+				continue // no subscriptions this cycle
+			}
+			if err := d.bind(sess, ch); err != nil {
+				d.logf("daemon: bind client %d: %v", sess.clientID, err)
+				continue
+			}
+			sess.send(wire.TypeAssigned, wire.MarshalAssigned(wire.Assigned{
+				Channel:       ch,
+				EstimatedCost: cy.EstimatedCost,
+				InitialCost:   cy.InitialCost,
+			}))
+		}
+	}
+
+	if delta {
+		rep, err := d.srv.PublishDelta(cy)
+		if err == nil {
+			d.record(trace.Event{Kind: trace.KindPublish, Delta: true,
+				Messages: rep.Messages, Tuples: rep.Tuples, PayloadBytes: rep.PayloadBytes})
+		}
+		return rep, err
+	}
+	rep, err := d.srv.Publish(cy)
+	if err == nil {
+		// Full publishes feed the drift monitor; delta payloads vary
+		// by nature and would trigger spurious re-plans.
+		d.planMu.Lock()
+		drift := d.drift.Observe(d.estimate, float64(rep.PayloadBytes))
+		replan := d.drift.ShouldReplan()
+		d.planMu.Unlock()
+		d.record(trace.Event{Kind: trace.KindPublish,
+			Messages: rep.Messages, Tuples: rep.Tuples, PayloadBytes: rep.PayloadBytes})
+		d.record(trace.Event{Kind: trace.KindDrift, Drift: drift, Replan: replan})
+	}
+	return rep, err
+}
+
+// bind attaches the session to the channel, replacing any previous
+// attachment, and starts the forwarder goroutine that turns multicast
+// messages into TypeAnswer frames.
+func (d *Daemon) bind(sess *session, channel int) error {
+	sub, err := d.net.Subscribe(channel, 256)
+	if err != nil {
+		return err
+	}
+	sess.mu.Lock()
+	old := sess.sub
+	sess.sub = sub
+	sess.mu.Unlock()
+	if old != nil {
+		old.Cancel()
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		for msg := range sub.C {
+			if err := sess.send(wire.TypeAnswer, wire.MarshalMessage(msg)); err != nil {
+				sub.Cancel()
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// send writes one frame to the session's connection.
+func (s *session) send(frameType uint8, payload []byte) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return wire.WriteFrame(s.conn, frameType, payload)
+}
+
+func (s *session) sendError(msg string) {
+	if err := s.send(wire.TypeError, wire.MarshalError(wire.Error{Msg: msg})); err != nil {
+		log.Printf("daemon: sending error frame: %v", err)
+	}
+}
+
+// Close shuts the daemon down: the multicast network closes (ending all
+// forwarders) and every session connection is closed.
+func (d *Daemon) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	sessions := make([]*session, 0, len(d.sessions))
+	for _, s := range d.sessions {
+		sessions = append(sessions, s)
+	}
+	d.mu.Unlock()
+	d.net.Close()
+	for _, s := range sessions {
+		s.conn.Close()
+	}
+	d.wg.Wait()
+}
+
+// SaveSubscriptions serializes every current (client, query) subscription
+// as wire Subscribe frames prefixed by a Hello frame per client, so a
+// daemon can restore its registry after a restart. Attribute predicates
+// are client-side only and thus not persisted (as on the wire).
+func (d *Daemon) SaveSubscriptions(w io.Writer) error {
+	cy, err := d.srv.Plan()
+	if err != nil {
+		return err
+	}
+	for i, q := range cy.Queries {
+		if err := wire.WriteFrame(w, wire.TypeHello,
+			wire.MarshalHello(wire.Hello{ClientID: cy.Owners[i]})); err != nil {
+			return err
+		}
+		payload, err := wire.MarshalSubscribe(wire.Subscribe{Query: q})
+		if err != nil {
+			return err
+		}
+		if err := wire.WriteFrame(w, wire.TypeSubscribe, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSubscriptions restores a registry written by SaveSubscriptions. It
+// returns the number of subscriptions restored.
+func (d *Daemon) LoadSubscriptions(r io.Reader) (int, error) {
+	restored := 0
+	clientID := 0
+	haveClient := false
+	for {
+		ft, payload, err := wire.ReadFrame(r)
+		if err == io.EOF {
+			if restored > 0 {
+				d.markDirty()
+			}
+			return restored, nil
+		}
+		if err != nil {
+			return restored, err
+		}
+		switch ft {
+		case wire.TypeHello:
+			h, err := wire.UnmarshalHello(payload)
+			if err != nil {
+				return restored, err
+			}
+			clientID = h.ClientID
+			haveClient = true
+		case wire.TypeSubscribe:
+			if !haveClient {
+				return restored, fmt.Errorf("daemon: subscribe before hello in subscription file")
+			}
+			sub, err := wire.UnmarshalSubscribe(payload)
+			if err != nil {
+				return restored, err
+			}
+			if err := d.srv.Subscribe(clientID, sub.Query); err != nil {
+				return restored, err
+			}
+			restored++
+		default:
+			return restored, fmt.Errorf("daemon: unexpected frame type %d in subscription file", ft)
+		}
+	}
+}

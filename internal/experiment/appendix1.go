@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"qsub/internal/core"
+	"qsub/internal/cost"
+	"qsub/internal/geom"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+)
+
+// Appendix1Row is one of the five merging cases of the Appendix 1 cost
+// table for the three-query example of Fig 6.
+type Appendix1Row struct {
+	Name string
+	Plan core.Plan
+	Cost float64
+}
+
+// Appendix1Result reproduces the Appendix 1 analysis: the cost of every
+// partition of the Fig 6 queries under the paper's example constants
+// (S = 1, K_M = 10, K_T = 9, K_U = 4), and whether the headline claim —
+// merging all three is optimal while merging any pair is not beneficial —
+// holds.
+type Appendix1Result struct {
+	Model cost.Model
+	S     float64
+	Rows  []Appendix1Row
+	// ClaimHolds reports that merge-all is strictly cheapest and every
+	// pair plan is strictly worse than no merging.
+	ClaimHolds bool
+}
+
+// fig6Queries realizes Fig 6 geometrically: a 2×2 grid of unit cells,
+// scaled so each cell's answer has size S. q1 is the top row, q2 the
+// right column, q3 the bottom-left cell; every pairwise or triple
+// bounding-rectangle merge covers all four cells (4S).
+func fig6Queries() []query.Query {
+	return []query.Query{
+		query.Range(1, geom.R(0, 1, 2, 2)),
+		query.Range(2, geom.R(1, 0, 2, 2)),
+		query.Range(3, geom.R(0, 0, 1, 1)),
+	}
+}
+
+// Appendix1 evaluates all five merging cases of the Appendix 1 table with
+// the given per-cell answer size S. Pass the paper's constants
+// (cost.DefaultModel(), S = 1) to reproduce the published table.
+func Appendix1(model cost.Model, s float64) Appendix1Result {
+	qs := fig6Queries()
+	est := relation.Uniform{Density: s, BytesPerTuple: 1}
+	inst := core.NewGeomInstance(model, qs, query.BoundingRect{}, est)
+	cases := []struct {
+		name string
+		plan core.Plan
+	}{
+		{"no merging", core.Plan{{0}, {1}, {2}}},
+		{"merge q1,q2", core.Plan{{0, 1}, {2}}},
+		{"merge q1,q3", core.Plan{{0, 2}, {1}}},
+		{"merge q2,q3", core.Plan{{1, 2}, {0}}},
+		{"merge all", core.Plan{{0, 1, 2}}},
+	}
+	res := Appendix1Result{Model: model, S: s}
+	for _, c := range cases {
+		res.Rows = append(res.Rows, Appendix1Row{
+			Name: c.name,
+			Plan: c.plan,
+			Cost: inst.Cost(c.plan),
+		})
+	}
+	none := res.Rows[0].Cost
+	all := res.Rows[4].Cost
+	res.ClaimHolds = all < none &&
+		res.Rows[1].Cost > none && res.Rows[2].Cost > none && res.Rows[3].Cost > none
+	for _, r := range res.Rows[:4] {
+		if r.Cost < all {
+			res.ClaimHolds = false
+		}
+	}
+	return res
+}
+
+// FormatAppendix1 renders the Appendix 1 table.
+func FormatAppendix1(res Appendix1Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Appendix 1 (S=%g, K_M=%g, K_T=%g, K_U=%g)\n",
+		res.S, res.Model.KM, res.Model.KT, res.Model.KU)
+	fmt.Fprintf(&b, "%-14s %-16s %s\n", "case", "plan", "cost")
+	for _, r := range res.Rows {
+		fmt.Fprintf(&b, "%-14s %-16s %.2f\n", r.Name, r.Plan.String(), r.Cost)
+	}
+	fmt.Fprintf(&b, "claim (merge-all optimal, no pair beneficial): %t\n", res.ClaimHolds)
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV writers for every experiment series, so external plotting tools can
+// regenerate the paper's figures from raw data.
+
+// WriteMergeCSV emits the Fig 16/17 series.
+func WriteMergeCSV(w io.Writer, rows []MergeResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"queries", "trials", "optimal_found", "prob_optimal", "avg_distance", "max_distance"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.Queries),
+			strconv.Itoa(r.Trials),
+			strconv.Itoa(r.OptimalFound),
+			formatFloat(r.ProbOptimal),
+			formatFloat(r.AvgDistance),
+			formatFloat(r.MaxDistance),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteChannelCSV emits the Fig 18/19 series.
+func WriteChannelCSV(w io.Writer, rows []ChannelResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"strategy", "trials", "optimal_found", "prob_optimal", "avg_distance", "max_distance"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Strategy.String(),
+			strconv.Itoa(r.Trials),
+			strconv.Itoa(r.OptimalFound),
+			formatFloat(r.ProbOptimal),
+			formatFloat(r.AvgDistance),
+			formatFloat(r.MaxDistance),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAlgoCSV emits the heuristic comparison series.
+func WriteAlgoCSV(w io.Writer, rows []AlgoResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"algorithm", "prob_optimal", "avg_distance", "avg_runtime_us"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Name,
+			formatFloat(r.ProbOptimal),
+			formatFloat(r.AvgDistance),
+			formatFloat(float64(r.AvgRuntime) / float64(time.Microsecond)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteEstimatorCSV emits the estimator ablation series.
+func WriteEstimatorCSV(w io.Writer, rows []EstimatorResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"estimator", "avg_true_cost_ratio", "max_true_cost_ratio"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Name, formatFloat(r.AvgTrueCostRatio), formatFloat(r.MaxTrueCostRatio)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string { return fmt.Sprintf("%.6g", v) }

@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"qsub/internal/core"
+	"qsub/internal/cost"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+	"qsub/internal/workload"
+)
+
+// EstimatorConfig parameterizes the size-estimation ablation: the paper
+// assumes size(q) comes from "well-known techniques [MCS88]" and its §11
+// future work calls out the non-uniform object space. This experiment
+// quantifies how estimator quality changes merging decisions on skewed
+// (clustered) data.
+type EstimatorConfig struct {
+	// Workload drives both the data distribution and the queries; its
+	// clustering knobs create the skew.
+	Workload workload.Config
+	// Model is the cost model.
+	Model cost.Model
+	// Tuples is the database size.
+	Tuples int
+	// Queries is the number of subscriptions per trial.
+	Queries int
+	// Trials is the number of generated worlds.
+	Trials int
+	// HistogramGrid is the equi-width histogram resolution.
+	HistogramGrid int
+}
+
+// DefaultEstimatorConfig returns the ablation defaults.
+func DefaultEstimatorConfig() EstimatorConfig {
+	wl := workload.DefaultConfig()
+	wl.DF = 70
+	return EstimatorConfig{
+		Workload:      wl,
+		Model:         cost.Model{KM: 64000, KT: 1, KU: 0.5},
+		Tuples:        20000,
+		Queries:       10,
+		Trials:        20,
+		HistogramGrid: 20,
+	}
+}
+
+// EstimatorResult is one estimator's row: plans were chosen using the
+// estimator, then charged their true (exact) cost.
+type EstimatorResult struct {
+	Name string
+	// AvgTrueCostRatio is mean(trueCost(plan_est) / trueCost(plan_exact)).
+	// 1.0 means estimation error never changed a decision for the worse.
+	AvgTrueCostRatio float64
+	// MaxTrueCostRatio is the worst observed ratio.
+	MaxTrueCostRatio float64
+}
+
+// RunEstimatorAblation measures the true-cost penalty of planning with
+// each estimator on clustered data.
+func RunEstimatorAblation(cfg EstimatorConfig) ([]EstimatorResult, error) {
+	if cfg.Trials < 1 || cfg.Queries < 2 || cfg.Tuples < 1 {
+		return nil, fmt.Errorf("experiment: invalid estimator ablation config %+v", cfg)
+	}
+	names := []string{"exact", "uniform", "histogram"}
+	sums := make([]float64, len(names))
+	maxs := make([]float64, len(names))
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		wl := cfg.Workload
+		wl.Seed = cfg.Workload.Seed + int64(trial)
+		gen, err := workload.NewGenerator(wl)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := relation.New(wl.DB, 25, 25)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range gen.Points(cfg.Tuples) {
+			rel.Insert(p, []byte("object"))
+		}
+		qs := gen.Queries(cfg.Queries)
+
+		exact := relation.Exact{Rel: rel}
+		avgTupleBytes := 0.0
+		if rel.Len() > 0 {
+			avgTupleBytes = exact.SizeBytes(wl.DB) / float64(rel.Len())
+		}
+		uniform := relation.Uniform{
+			Density:       float64(rel.Len()) / wl.DB.Area(),
+			BytesPerTuple: avgTupleBytes,
+		}
+		hist, err := relation.BuildHistogram(rel, cfg.HistogramGrid, cfg.HistogramGrid)
+		if err != nil {
+			return nil, err
+		}
+		estimators := []relation.Estimator{exact, uniform, hist}
+
+		// True cost is always charged with the exact estimator.
+		truth := core.NewGeomInstance(cfg.Model, qs, query.BoundingRect{}, exact)
+		var baseline float64
+		for i, est := range estimators {
+			inst := core.NewGeomInstance(cfg.Model, qs, query.BoundingRect{}, est)
+			plan := core.PairMerge{}.Solve(inst)
+			trueCost := truth.Cost(plan)
+			if i == 0 {
+				baseline = trueCost
+				sums[0] += 1
+				if maxs[0] < 1 {
+					maxs[0] = 1
+				}
+				continue
+			}
+			ratio := 1.0
+			if baseline > 0 {
+				ratio = trueCost / baseline
+			}
+			sums[i] += ratio
+			if ratio > maxs[i] {
+				maxs[i] = ratio
+			}
+		}
+	}
+
+	out := make([]EstimatorResult, len(names))
+	for i, name := range names {
+		out[i] = EstimatorResult{
+			Name:             name,
+			AvgTrueCostRatio: sums[i] / float64(cfg.Trials),
+			MaxTrueCostRatio: maxs[i],
+		}
+	}
+	return out, nil
+}
+
+// FormatEstimatorTable renders the ablation rows.
+func FormatEstimatorTable(rows []EstimatorResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-20s %-20s\n", "estimator", "avg true-cost ratio", "max true-cost ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-20.4f %-20.4f\n", r.Name, r.AvgTrueCostRatio, r.MaxTrueCostRatio)
+	}
+	return b.String()
+}

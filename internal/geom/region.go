@@ -1,0 +1,154 @@
+package geom
+
+// Region is the geometric footprint of a query: a set of points in the
+// two-dimensional attribute space. The three merge procedures of Fig 5
+// produce regions of increasing tightness: a bounding rectangle, a convex
+// bounding polygon, and an exact union of the input rectangles.
+//
+// Regions are used for membership tests (extractors filter answer tuples by
+// region) and for size estimation (selectivity is proportional to area
+// under a uniform data distribution).
+type Region interface {
+	// Contains reports whether the point belongs to the region.
+	Contains(p Point) bool
+	// Area returns the area covered by the region.
+	Area() float64
+	// BoundingRect returns the smallest axis-aligned rectangle
+	// containing the region.
+	BoundingRect() Rect
+}
+
+// Rect implements Region directly: its bounding rectangle is itself.
+func (r Rect) BoundingRect() Rect { return r }
+
+var (
+	_ Region = Rect{}
+	_ Region = Polygon{}
+	_ Region = Union{}
+)
+
+// Union is a region formed by the set union of several rectangles. It is
+// the footprint of a disjunctive query such as the exact merge procedure of
+// Fig 5(c). The rectangles need not be disjoint; Area accounts for overlap
+// exactly.
+type Union []Rect
+
+// Contains reports whether the point lies in any member rectangle.
+func (u Union) Contains(p Point) bool {
+	for _, r := range u {
+		if r.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Area returns the exact area of the union, counting overlapping parts
+// once.
+func (u Union) Area() float64 { return UnionArea(u) }
+
+// BoundingRect returns the bounding rectangle of all member rectangles.
+func (u Union) BoundingRect() Rect { return BoundingRect(u) }
+
+// UnionArea computes the exact area of the union of the rectangles using
+// coordinate compression: the plane is partitioned into the grid induced by
+// all rectangle edges, and each covered cell contributes its area once.
+// The cost is O(n² · n) in the worst case, which is ample for the query
+// counts the merging algorithms handle.
+func UnionArea(rects []Rect) float64 {
+	xs, ys := compressCoords(rects)
+	if len(xs) < 2 || len(ys) < 2 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i+1 < len(xs); i++ {
+		for j := 0; j+1 < len(ys); j++ {
+			cx := (xs[i] + xs[i+1]) / 2
+			cy := (ys[j] + ys[j+1]) / 2
+			for _, r := range rects {
+				if !r.Empty() && r.Contains(Point{cx, cy}) {
+					total += (xs[i+1] - xs[i]) * (ys[j+1] - ys[j])
+					break
+				}
+			}
+		}
+	}
+	return total
+}
+
+// compressCoords returns the sorted, deduplicated x and y edge coordinates
+// of the non-empty rectangles.
+func compressCoords(rects []Rect) (xs, ys []float64) {
+	for _, r := range rects {
+		if r.Empty() {
+			continue
+		}
+		xs = append(xs, r.MinX, r.MaxX)
+		ys = append(ys, r.MinY, r.MaxY)
+	}
+	return sortUnique(xs), sortUnique(ys)
+}
+
+func sortUnique(v []float64) []float64 {
+	if len(v) == 0 {
+		return v
+	}
+	// Insertion sort keeps this allocation-free and simple; inputs are
+	// small (twice the number of rectangles).
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+	out := v[:1]
+	for _, x := range v[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// DisjointCover decomposes the union of the input rectangles into a set of
+// pairwise-disjoint rectangles covering exactly the same region. This is
+// the machinery behind the exact merge procedure of Fig 5(c): the merged
+// "query" is a disjunction of disjoint rectangles, so the answer contains
+// no irrelevant information.
+//
+// The decomposition slices the union into vertical bands at every distinct
+// x edge and merges vertically-contiguous covered cells within each band.
+// Adjacent rectangles from different bands are not re-coalesced, so the
+// output is a valid (not necessarily minimal) disjoint cover.
+func DisjointCover(rects []Rect) []Rect {
+	xs, ys := compressCoords(rects)
+	if len(xs) < 2 || len(ys) < 2 {
+		return nil
+	}
+	var out []Rect
+	for i := 0; i+1 < len(xs); i++ {
+		cx := (xs[i] + xs[i+1]) / 2
+		// Scan cells in this band bottom-up, merging runs of covered
+		// cells into single rectangles.
+		runStart := -1
+		for j := 0; j <= len(ys)-1; j++ {
+			covered := false
+			if j+1 < len(ys) {
+				cy := (ys[j] + ys[j+1]) / 2
+				for _, r := range rects {
+					if !r.Empty() && r.Contains(Point{cx, cy}) {
+						covered = true
+						break
+					}
+				}
+			}
+			if covered && runStart < 0 {
+				runStart = j
+			}
+			if !covered && runStart >= 0 {
+				out = append(out, Rect{MinX: xs[i], MinY: ys[runStart], MaxX: xs[i+1], MaxY: ys[j]})
+				runStart = -1
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package interval_test
+
+import (
+	"fmt"
+
+	"qsub/internal/cost"
+	"qsub/internal/interval"
+)
+
+// Example reproduces the paper's introduction: merging σ(2≤A≤40)R and
+// σ(3≤A≤41)R into σ(2≤A≤41)R when the per-query cost dominates.
+func Example() {
+	ivs := []interval.Interval{
+		{Lo: 2, Hi: 40},
+		{Lo: 3, Hi: 41},
+		{Lo: 500, Hi: 510}, // far away: stays separate
+	}
+	plan := interval.MergeContiguous(cost.Model{KM: 100, KT: 1, KU: 1}, ivs, 1)
+	for _, set := range plan.Plan {
+		merged := interval.Interval{Lo: 1, Hi: 0}
+		for _, q := range set {
+			merged = merged.Union(ivs[q])
+		}
+		fmt.Printf("queries %v -> merged %v\n", set, merged)
+	}
+	// Output:
+	// queries [0 1] -> merged [2, 41]
+	// queries [2] -> merged [500, 510]
+}

@@ -1,0 +1,29 @@
+package kdim_test
+
+import (
+	"fmt"
+
+	"qsub/internal/core"
+	"qsub/internal/cost"
+	"qsub/internal/kdim"
+)
+
+// Example merges 4-dimensional range subscriptions — e.g. a schema
+// R(latitude, longitude, altitude, time) — with the same algorithms the
+// 2-D battlefield case uses.
+func Example() {
+	boxes := []kdim.Box{
+		kdim.MustBox([]float64{0, 0, 0, 0}, []float64{10, 10, 10, 10}),
+		kdim.MustBox([]float64{2, 2, 2, 2}, []float64{12, 12, 12, 12}),
+		kdim.MustBox([]float64{500, 500, 500, 500}, []float64{510, 510, 510, 510}),
+	}
+	inst, err := kdim.Instance(cost.Model{KM: 50000, KT: 1, KU: 0.001}, boxes, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	plan := core.PairMerge{}.Solve(inst)
+	fmt.Printf("plan: %v\n", plan)
+	// Output:
+	// plan: [[0 1] [2]]
+}

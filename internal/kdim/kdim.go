@@ -1,0 +1,144 @@
+// Package kdim generalizes the geographic query model to k-dimensional
+// range selections, backing the paper's remark that "our system can
+// handle more complicated queries and database schemas" (§2): a relation
+// with k ordered attributes admits the same bounding-box merge procedure,
+// size estimation and cost model as the 2-D battlefield case, and the
+// core algorithms run unchanged through a kdim Instance.
+package kdim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qsub/internal/core"
+	"qsub/internal/cost"
+)
+
+// Box is a closed axis-aligned box in k dimensions: the selection
+// σ(min₁≤a₁≤max₁ ∧ … ∧ min_k≤a_k≤max_k)R.
+type Box struct {
+	Min, Max []float64
+}
+
+// NewBox validates and constructs a box; Min and Max must have the same
+// positive length with Min[i] ≤ Max[i].
+func NewBox(min, max []float64) (Box, error) {
+	if len(min) == 0 || len(min) != len(max) {
+		return Box{}, fmt.Errorf("kdim: bounds have lengths %d and %d", len(min), len(max))
+	}
+	for i := range min {
+		if min[i] > max[i] {
+			return Box{}, fmt.Errorf("kdim: dimension %d has min %g > max %g", i, min[i], max[i])
+		}
+	}
+	return Box{Min: append([]float64(nil), min...), Max: append([]float64(nil), max...)}, nil
+}
+
+// MustBox is NewBox but panics on error.
+func MustBox(min, max []float64) Box {
+	b, err := NewBox(min, max)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// K returns the dimensionality.
+func (b Box) K() int { return len(b.Min) }
+
+// Volume returns the k-dimensional volume.
+func (b Box) Volume() float64 {
+	v := 1.0
+	for i := range b.Min {
+		v *= b.Max[i] - b.Min[i]
+	}
+	return v
+}
+
+// Contains reports whether the point (one coordinate per dimension) lies
+// in the closed box.
+func (b Box) Contains(p []float64) bool {
+	if len(p) != b.K() {
+		return false
+	}
+	for i := range p {
+		if p[i] < b.Min[i] || p[i] > b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the bounding box of b and o (the k-dim Fig 5a merge).
+func (b Box) Union(o Box) Box {
+	out := Box{Min: append([]float64(nil), b.Min...), Max: append([]float64(nil), b.Max...)}
+	for i := range out.Min {
+		out.Min[i] = math.Min(out.Min[i], o.Min[i])
+		out.Max[i] = math.Max(out.Max[i], o.Max[i])
+	}
+	return out
+}
+
+// Overlap returns the volume of the intersection of b and o (0 when
+// disjoint).
+func (b Box) Overlap(o Box) float64 {
+	v := 1.0
+	for i := range b.Min {
+		lo := math.Max(b.Min[i], o.Min[i])
+		hi := math.Min(b.Max[i], o.Max[i])
+		if lo > hi {
+			return 0
+		}
+		v *= hi - lo
+	}
+	return v
+}
+
+// Instance builds a query merging instance over the boxes with size =
+// volume × density and bounding-box merging. All boxes must share the
+// same dimensionality.
+func Instance(model cost.Model, boxes []Box, density float64) (*core.Instance, error) {
+	if len(boxes) == 0 {
+		return &core.Instance{N: 0, Model: model, Sizer: cost.Func{SizeFn: func(int) float64 { return 0 }}}, nil
+	}
+	k := boxes[0].K()
+	for i, b := range boxes {
+		if b.K() != k {
+			return nil, fmt.Errorf("kdim: box %d has %d dimensions, want %d", i, b.K(), k)
+		}
+	}
+	return &core.Instance{
+		N:     len(boxes),
+		Model: model,
+		Sizer: cost.Func{
+			SizeFn: func(i int) float64 { return boxes[i].Volume() * density },
+			MergedFn: func(set []int) float64 {
+				out := boxes[set[0]]
+				for _, q := range set[1:] {
+					out = out.Union(boxes[q])
+				}
+				return out.Volume() * density
+			},
+		},
+		Overlap: func(i, j int) float64 { return boxes[i].Overlap(boxes[j]) * density },
+	}, nil
+}
+
+// RandomBoxes generates n random boxes in [0, space)^k with extents drawn
+// uniformly from [minW, maxW), for tests and benchmarks.
+func RandomBoxes(rng *rand.Rand, n, k int, space, minW, maxW float64) []Box {
+	out := make([]Box, n)
+	for i := range out {
+		min := make([]float64, k)
+		max := make([]float64, k)
+		for d := 0; d < k; d++ {
+			lo := rng.Float64() * space
+			w := minW + rng.Float64()*(maxW-minW)
+			min[d] = lo
+			max[d] = math.Min(lo+w, space)
+		}
+		out[i] = Box{Min: min, Max: max}
+	}
+	return out
+}

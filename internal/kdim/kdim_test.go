@@ -1,0 +1,180 @@
+package kdim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qsub/internal/core"
+	"qsub/internal/cost"
+	"qsub/internal/geom"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+)
+
+func TestNewBoxValidation(t *testing.T) {
+	if _, err := NewBox(nil, nil); err == nil {
+		t.Fatal("empty bounds should be rejected")
+	}
+	if _, err := NewBox([]float64{0, 0}, []float64{1}); err == nil {
+		t.Fatal("length mismatch should be rejected")
+	}
+	if _, err := NewBox([]float64{2}, []float64{1}); err == nil {
+		t.Fatal("inverted bounds should be rejected")
+	}
+	b, err := NewBox([]float64{0, 1, 2}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.K() != 3 || b.Volume() != 1 {
+		t.Fatalf("box = %+v", b)
+	}
+}
+
+func TestBoxContains(t *testing.T) {
+	b := MustBox([]float64{0, 0, 0}, []float64{2, 4, 6})
+	if !b.Contains([]float64{1, 2, 3}) || !b.Contains([]float64{0, 0, 0}) || !b.Contains([]float64{2, 4, 6}) {
+		t.Fatal("interior/boundary points should be contained")
+	}
+	if b.Contains([]float64{3, 2, 3}) || b.Contains([]float64{1, 2}) {
+		t.Fatal("outside/short points should be rejected")
+	}
+}
+
+func TestBoxUnionAndOverlap(t *testing.T) {
+	a := MustBox([]float64{0, 0}, []float64{2, 2})
+	b := MustBox([]float64{1, 1}, []float64{3, 3})
+	u := a.Union(b)
+	if u.Volume() != 9 {
+		t.Fatalf("union volume = %g, want 9", u.Volume())
+	}
+	if got := a.Overlap(b); got != 1 {
+		t.Fatalf("overlap = %g, want 1", got)
+	}
+	c := MustBox([]float64{10, 10}, []float64{11, 11})
+	if a.Overlap(c) != 0 {
+		t.Fatal("disjoint boxes should have zero overlap")
+	}
+}
+
+func TestInstanceDimensionCheck(t *testing.T) {
+	boxes := []Box{
+		MustBox([]float64{0}, []float64{1}),
+		MustBox([]float64{0, 0}, []float64{1, 1}),
+	}
+	if _, err := Instance(cost.Model{}, boxes, 1); err == nil {
+		t.Fatal("mixed dimensionality should be rejected")
+	}
+	if _, err := Instance(cost.Model{}, nil, 1); err != nil {
+		t.Fatalf("empty instance should be fine: %v", err)
+	}
+}
+
+// TestMatchesGeomInTwoDimensions cross-checks: a kdim instance at k=2
+// must produce exactly the same plan costs as the geometric instance over
+// the equivalent rectangles.
+func TestMatchesGeomInTwoDimensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	model := cost.Model{KM: 500, KT: 1, KU: 0.5}
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(6)
+		boxes := RandomBoxes(rng, n, 2, 100, 5, 25)
+		qs := make([]query.Query, n)
+		for i, b := range boxes {
+			qs[i] = query.Range(query.ID(i+1), geom.R(b.Min[0], b.Min[1], b.Max[0], b.Max[1]))
+		}
+		kinst, err := Instance(model, boxes, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ginst := core.NewGeomInstance(model, qs, query.BoundingRect{},
+			relation.Uniform{Density: 1, BytesPerTuple: 1})
+
+		kplan := core.PairMerge{}.Solve(kinst)
+		gplan := core.PairMerge{}.Solve(ginst)
+		kc, gc := kinst.Cost(kplan), ginst.Cost(gplan)
+		if math.Abs(kc-gc) > 1e-6 {
+			t.Fatalf("k=2 cost %g != geom cost %g", kc, gc)
+		}
+		if !kplan.Equal(gplan) {
+			t.Fatalf("k=2 plan %v != geom plan %v", kplan, gplan)
+		}
+	}
+}
+
+func TestAlgorithmsRunInHigherDimensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	model := cost.Model{KM: 2000, KT: 1, KU: 0.5}
+	for _, k := range []int{3, 4, 6} {
+		boxes := RandomBoxes(rng, 8, k, 100, 10, 40)
+		inst, err := Instance(model, boxes, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optimal := inst.Cost(core.Partition{}.Solve(inst))
+		initial := inst.InitialCost()
+		for _, algo := range []core.Algorithm{core.PairMerge{}, core.Clustering{}, core.DirectedSearch{T: 4, Seed: 1}} {
+			plan := algo.Solve(inst)
+			if !plan.IsPartition(8) {
+				t.Fatalf("k=%d: %s produced invalid plan %v", k, algo.Name(), plan)
+			}
+			c := inst.Cost(plan)
+			if c < optimal-1e-9 || c > initial+1e-9 {
+				t.Fatalf("k=%d: %s cost %g outside [optimal %g, initial %g]",
+					k, algo.Name(), c, optimal, initial)
+			}
+		}
+	}
+}
+
+func TestMergedVolumeMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	boxes := RandomBoxes(rng, 10, 4, 100, 5, 30)
+	inst, err := Instance(cost.Model{KM: 1, KT: 1, KU: 1}, boxes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		// Random subset and a superset of it.
+		var sub, super []int
+		for i := 0; i < 10; i++ {
+			if rng.Intn(2) == 0 {
+				super = append(super, i)
+				if rng.Intn(2) == 0 {
+					sub = append(sub, i)
+				}
+			}
+		}
+		if len(sub) == 0 || len(super) == len(sub) {
+			continue
+		}
+		if inst.Sizer.MergedSize(sub) > inst.Sizer.MergedSize(super)+1e-9 {
+			t.Fatalf("merged size not monotone: subset %v > superset %v", sub, super)
+		}
+	}
+}
+
+func TestCurseOfDimensionality(t *testing.T) {
+	// A qualitative sanity check the model predicts: at higher k, the
+	// bounding box of scattered queries covers exponentially more dead
+	// space, so merging becomes beneficial less often. Compare merge
+	// rates at k=2 and k=8 with the same model and scatter.
+	model := cost.Model{KM: 5000, KT: 1, KU: 0.5}
+	mergedSets := func(k int) int {
+		rng := rand.New(rand.NewSource(4))
+		total := 0
+		for trial := 0; trial < 20; trial++ {
+			boxes := RandomBoxes(rng, 8, k, 100, 10, 30)
+			inst, err := Instance(model, boxes, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += len(core.PairMerge{}.Solve(inst))
+		}
+		return total
+	}
+	low, high := mergedSets(2), mergedSets(8)
+	if low >= high {
+		t.Fatalf("higher dimensions should merge less: k=2 sets %d, k=8 sets %d", low, high)
+	}
+}

@@ -1,0 +1,303 @@
+// Package multicast simulates the dissemination network of §7: a fixed
+// set of logical multicast channels over which the server publishes merged
+// answers. Each message carries the header of §3.1 — for every addressed
+// client, the query identifiers whose answers the message contains (the
+// extractor being the original query itself for selection queries).
+//
+// Clients subscribe to exactly one channel and receive every message
+// published on it, concurrently, each on its own goroutine-friendly Go
+// channel. The network keeps exact byte accounting (payload bytes sent,
+// delivered, and per-delivery fan-out) so experiments can compare measured
+// traffic against the cost model's size(M) and U(Q,M) predictions.
+// Optional random loss injection exercises client-side gap detection.
+package multicast
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"qsub/internal/query"
+	"qsub/internal/relation"
+)
+
+// HeaderEntry addresses one client within a message: the client must apply
+// the extractors of the listed queries to the payload to recover its
+// answers. Queries are identified by id; for pure selection queries the
+// extractor is the subscription query itself (§3.1), so ids are all the
+// header needs to carry.
+type HeaderEntry struct {
+	ClientID int
+	QueryIDs []query.ID
+}
+
+// Message is one merged answer published on a channel.
+type Message struct {
+	// Channel is the logical multicast channel the message travels on.
+	Channel int
+	// Seq is a per-channel sequence number assigned by the network,
+	// letting clients detect lost messages.
+	Seq uint64
+	// Tuples is the merged answer payload.
+	Tuples []relation.Tuple
+	// Header lists the addressed clients and their query ids.
+	Header []HeaderEntry
+	// Delta marks continuous-mode messages that carry only tuples
+	// inserted since the previous cycle.
+	Delta bool
+	// Removed lists tuple ids deleted since the previous cycle that
+	// fall inside this merged query's footprint; clients drop them from
+	// their accumulated answers (§11 dynamic scenario).
+	Removed []uint64
+}
+
+// PayloadBytes returns the transmission size of the tuple payload plus
+// 8 bytes per removal notice.
+func (m *Message) PayloadBytes() int {
+	n := 8 * len(m.Removed)
+	for _, t := range m.Tuples {
+		n += t.Size()
+	}
+	return n
+}
+
+// HeaderBytes returns the transmission size of the header: 8 bytes per
+// client entry plus 8 per query id. The cost model ignores headers
+// ("we expect the size of the header to be very small compared to the
+// size of the data", §4); the simulator accounts for them anyway so the
+// assumption can be checked.
+func (m *Message) HeaderBytes() int {
+	n := 0
+	for _, e := range m.Header {
+		n += 8 + 8*len(e.QueryIDs)
+	}
+	return n
+}
+
+// EntryFor returns the header entry addressing the given client, if any.
+func (m *Message) EntryFor(clientID int) (HeaderEntry, bool) {
+	for _, e := range m.Header {
+		if e.ClientID == clientID {
+			return e, true
+		}
+	}
+	return HeaderEntry{}, false
+}
+
+// Stats aggregates network traffic counters. All fields are totals since
+// the network was created.
+type Stats struct {
+	// MessagesPublished counts Publish calls that succeeded.
+	MessagesPublished uint64
+	// PayloadBytesSent is the payload volume placed on channels once
+	// per message (the size(M) the server pays for).
+	PayloadBytesSent uint64
+	// HeaderBytesSent is the header volume placed on channels.
+	HeaderBytesSent uint64
+	// Deliveries counts message copies handed to subscribers.
+	Deliveries uint64
+	// PayloadBytesDelivered is the payload volume received by
+	// subscribers (fan-out multiplied).
+	PayloadBytesDelivered uint64
+	// Dropped counts deliveries suppressed by loss injection.
+	Dropped uint64
+}
+
+// Network is a set of logical multicast channels.
+type Network struct {
+	channels int
+	lossRate float64
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	seqs   []uint64
+	subs   [][]*Subscription
+	closed bool
+
+	messagesPublished     atomic.Uint64
+	payloadBytesSent      atomic.Uint64
+	headerBytesSent       atomic.Uint64
+	deliveries            atomic.Uint64
+	payloadBytesDelivered atomic.Uint64
+	dropped               atomic.Uint64
+
+	perChannel []channelCounters
+}
+
+// channelCounters holds the per-channel slice of the traffic counters.
+type channelCounters struct {
+	messages atomic.Uint64
+	payload  atomic.Uint64
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLoss makes each delivery independently fail with probability rate,
+// deterministically for a given seed. Sequence numbers still advance, so
+// clients observe gaps.
+func WithLoss(rate float64, seed int64) Option {
+	return func(n *Network) {
+		n.lossRate = rate
+		n.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// NewNetwork creates a network with the given number of channels.
+func NewNetwork(channels int, opts ...Option) (*Network, error) {
+	if channels < 1 {
+		return nil, fmt.Errorf("multicast: need at least one channel, got %d", channels)
+	}
+	n := &Network{
+		channels:   channels,
+		seqs:       make([]uint64, channels),
+		subs:       make([][]*Subscription, channels),
+		perChannel: make([]channelCounters, channels),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n, nil
+}
+
+// Channels returns the number of logical channels.
+func (n *Network) Channels() int { return n.channels }
+
+// Subscription is one client's attachment to a channel. Messages arrive
+// on C; Cancel detaches and closes C.
+type Subscription struct {
+	// C delivers the channel's messages in publish order.
+	C <-chan Message
+
+	net     *Network
+	channel int
+	ch      chan Message
+	once    sync.Once
+}
+
+// Cancel detaches the subscription and closes its message channel.
+func (s *Subscription) Cancel() {
+	s.once.Do(func() {
+		s.net.mu.Lock()
+		subs := s.net.subs[s.channel]
+		for i, sub := range subs {
+			if sub == s {
+				s.net.subs[s.channel] = append(subs[:i], subs[i+1:]...)
+				break
+			}
+		}
+		s.net.mu.Unlock()
+		close(s.ch)
+	})
+}
+
+// Subscribe attaches a listener to the channel with the given delivery
+// buffer. Publish blocks when a subscriber's buffer is full, so slow
+// consumers apply backpressure rather than losing data.
+func (n *Network) Subscribe(channel, buffer int) (*Subscription, error) {
+	if channel < 0 || channel >= n.channels {
+		return nil, fmt.Errorf("multicast: channel %d outside [0,%d)", channel, n.channels)
+	}
+	if buffer < 0 {
+		buffer = 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, fmt.Errorf("multicast: network closed")
+	}
+	ch := make(chan Message, buffer)
+	sub := &Subscription{C: ch, net: n, channel: channel, ch: ch}
+	n.subs[channel] = append(n.subs[channel], sub)
+	return sub, nil
+}
+
+// Publish places the message on its channel: one payload charge on the
+// wire, one delivery per current subscriber. The message's Seq field is
+// assigned by the network. Publish blocks until every subscriber has
+// buffer space (backpressure), so callers should drain subscriptions
+// concurrently.
+func (n *Network) Publish(msg Message) error {
+	if msg.Channel < 0 || msg.Channel >= n.channels {
+		return fmt.Errorf("multicast: channel %d outside [0,%d)", msg.Channel, n.channels)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return fmt.Errorf("multicast: network closed")
+	}
+	n.seqs[msg.Channel]++
+	msg.Seq = n.seqs[msg.Channel]
+	targets := append([]*Subscription(nil), n.subs[msg.Channel]...)
+	var drop []bool
+	if n.lossRate > 0 {
+		drop = make([]bool, len(targets))
+		for i := range targets {
+			drop[i] = n.rng.Float64() < n.lossRate
+		}
+	}
+	n.mu.Unlock()
+
+	payload := uint64(msg.PayloadBytes())
+	n.messagesPublished.Add(1)
+	n.payloadBytesSent.Add(payload)
+	n.headerBytesSent.Add(uint64(msg.HeaderBytes()))
+	n.perChannel[msg.Channel].messages.Add(1)
+	n.perChannel[msg.Channel].payload.Add(payload)
+	for i, sub := range targets {
+		if drop != nil && drop[i] {
+			n.dropped.Add(1)
+			continue
+		}
+		sub.ch <- msg
+		n.deliveries.Add(1)
+		n.payloadBytesDelivered.Add(payload)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		MessagesPublished:     n.messagesPublished.Load(),
+		PayloadBytesSent:      n.payloadBytesSent.Load(),
+		HeaderBytesSent:       n.headerBytesSent.Load(),
+		Deliveries:            n.deliveries.Load(),
+		PayloadBytesDelivered: n.payloadBytesDelivered.Load(),
+		Dropped:               n.dropped.Load(),
+	}
+}
+
+// ChannelStats returns the per-channel published message and payload
+// counts, indexed by channel — the load-balance view the §8 allocator is
+// trying to shape.
+func (n *Network) ChannelStats() []struct{ Messages, PayloadBytes uint64 } {
+	out := make([]struct{ Messages, PayloadBytes uint64 }, n.channels)
+	for i := range out {
+		out[i].Messages = n.perChannel[i].messages.Load()
+		out[i].PayloadBytes = n.perChannel[i].payload.Load()
+	}
+	return out
+}
+
+// Close cancels every subscription and rejects further publishes.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	var all []*Subscription
+	for _, subs := range n.subs {
+		all = append(all, subs...)
+	}
+	for ch := range n.subs {
+		n.subs[ch] = nil
+	}
+	n.mu.Unlock()
+	for _, sub := range all {
+		sub.once.Do(func() { close(sub.ch) })
+	}
+}

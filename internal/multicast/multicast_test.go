@@ -1,0 +1,307 @@
+package multicast
+
+import (
+	"sync"
+	"testing"
+
+	"qsub/internal/geom"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+)
+
+func testMessage(ch int, payloads ...int) Message {
+	msg := Message{Channel: ch, Header: []HeaderEntry{{ClientID: 1, QueryIDs: []query.ID{1}}}}
+	for i, n := range payloads {
+		msg.Tuples = append(msg.Tuples, relation.Tuple{
+			ID:      uint64(i + 1),
+			Pos:     geom.Pt(0, 0),
+			Payload: make([]byte, n),
+		})
+	}
+	return msg
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(0); err == nil {
+		t.Fatal("zero channels should be rejected")
+	}
+	n, err := NewNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Channels() != 3 {
+		t.Fatalf("Channels = %d, want 3", n.Channels())
+	}
+}
+
+func TestPublishDeliversToSubscribers(t *testing.T) {
+	n, _ := NewNetwork(2)
+	defer n.Close()
+	sub, err := n.Subscribe(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Publish(testMessage(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	msg := <-sub.C
+	if msg.Seq != 1 {
+		t.Fatalf("Seq = %d, want 1", msg.Seq)
+	}
+	if msg.PayloadBytes() != 24+10 {
+		t.Fatalf("PayloadBytes = %d, want 34", msg.PayloadBytes())
+	}
+}
+
+func TestChannelIsolation(t *testing.T) {
+	n, _ := NewNetwork(2)
+	defer n.Close()
+	sub0, _ := n.Subscribe(0, 4)
+	sub1, _ := n.Subscribe(1, 4)
+	n.Publish(testMessage(0, 1))
+	<-sub0.C
+	select {
+	case msg := <-sub1.C:
+		t.Fatalf("channel 1 received foreign message %v", msg)
+	default:
+	}
+}
+
+func TestSeqPerChannel(t *testing.T) {
+	n, _ := NewNetwork(2)
+	defer n.Close()
+	s0, _ := n.Subscribe(0, 4)
+	s1, _ := n.Subscribe(1, 4)
+	n.Publish(testMessage(0, 1))
+	n.Publish(testMessage(0, 1))
+	n.Publish(testMessage(1, 1))
+	if m := <-s0.C; m.Seq != 1 {
+		t.Fatalf("first message on ch0 Seq = %d", m.Seq)
+	}
+	if m := <-s0.C; m.Seq != 2 {
+		t.Fatalf("second message on ch0 Seq = %d", m.Seq)
+	}
+	if m := <-s1.C; m.Seq != 1 {
+		t.Fatalf("first message on ch1 Seq = %d (sequences are per channel)", m.Seq)
+	}
+}
+
+func TestPublishValidatesChannel(t *testing.T) {
+	n, _ := NewNetwork(1)
+	defer n.Close()
+	if err := n.Publish(testMessage(5, 1)); err == nil {
+		t.Fatal("out-of-range channel should be rejected")
+	}
+	if _, err := n.Subscribe(-1, 0); err == nil {
+		t.Fatal("negative channel subscribe should be rejected")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	n, _ := NewNetwork(1)
+	defer n.Close()
+	a, _ := n.Subscribe(0, 4)
+	b, _ := n.Subscribe(0, 4)
+	msg := testMessage(0, 6) // payload 24+6 = 30
+	n.Publish(msg)
+	<-a.C
+	<-b.C
+	st := n.Stats()
+	if st.MessagesPublished != 1 {
+		t.Fatalf("MessagesPublished = %d", st.MessagesPublished)
+	}
+	if st.PayloadBytesSent != 30 {
+		t.Fatalf("PayloadBytesSent = %d, want 30", st.PayloadBytesSent)
+	}
+	if st.Deliveries != 2 {
+		t.Fatalf("Deliveries = %d, want 2", st.Deliveries)
+	}
+	if st.PayloadBytesDelivered != 60 {
+		t.Fatalf("PayloadBytesDelivered = %d, want 60", st.PayloadBytesDelivered)
+	}
+	if st.HeaderBytesSent != 16 {
+		t.Fatalf("HeaderBytesSent = %d, want 16", st.HeaderBytesSent)
+	}
+}
+
+func TestCancelStopsDelivery(t *testing.T) {
+	n, _ := NewNetwork(1)
+	defer n.Close()
+	sub, _ := n.Subscribe(0, 4)
+	sub.Cancel()
+	if _, ok := <-sub.C; ok {
+		t.Fatal("cancelled subscription channel should be closed")
+	}
+	// Publishing afterwards must not block or deliver.
+	if err := n.Publish(testMessage(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if st := n.Stats(); st.Deliveries != 0 {
+		t.Fatalf("Deliveries = %d after cancel, want 0", st.Deliveries)
+	}
+}
+
+func TestCloseRejectsFurtherUse(t *testing.T) {
+	n, _ := NewNetwork(1)
+	sub, _ := n.Subscribe(0, 4)
+	n.Close()
+	if _, ok := <-sub.C; ok {
+		t.Fatal("close should close subscription channels")
+	}
+	if err := n.Publish(testMessage(0, 1)); err == nil {
+		t.Fatal("publish after close should fail")
+	}
+	if _, err := n.Subscribe(0, 0); err == nil {
+		t.Fatal("subscribe after close should fail")
+	}
+	n.Close() // idempotent
+}
+
+func TestLossInjectionDropsAndCounts(t *testing.T) {
+	n, _ := NewNetwork(1, WithLoss(1.0, 1)) // drop everything
+	defer n.Close()
+	sub, _ := n.Subscribe(0, 4)
+	n.Publish(testMessage(0, 1))
+	n.Publish(testMessage(0, 1))
+	select {
+	case msg := <-sub.C:
+		t.Fatalf("lossy network delivered %v", msg)
+	default:
+	}
+	st := n.Stats()
+	if st.Dropped != 2 || st.Deliveries != 0 {
+		t.Fatalf("Dropped = %d, Deliveries = %d; want 2, 0", st.Dropped, st.Deliveries)
+	}
+	// Sequence numbers still advanced, so a later lossless message
+	// exposes the gap to clients.
+}
+
+func TestConcurrentPublishAndConsume(t *testing.T) {
+	n, _ := NewNetwork(4)
+	defer n.Close()
+	const perChannel = 50
+	var wg sync.WaitGroup
+	received := make([]int, 4)
+	for ch := 0; ch < 4; ch++ {
+		sub, err := n.Subscribe(ch, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(ch int, sub *Subscription) {
+			defer wg.Done()
+			for range sub.C {
+				received[ch]++
+				if received[ch] == perChannel {
+					return
+				}
+			}
+		}(ch, sub)
+	}
+	var pub sync.WaitGroup
+	for ch := 0; ch < 4; ch++ {
+		pub.Add(1)
+		go func(ch int) {
+			defer pub.Done()
+			for i := 0; i < perChannel; i++ {
+				if err := n.Publish(testMessage(ch, 1)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(ch)
+	}
+	pub.Wait()
+	wg.Wait()
+	for ch, got := range received {
+		if got != perChannel {
+			t.Fatalf("channel %d delivered %d messages, want %d", ch, got, perChannel)
+		}
+	}
+	if st := n.Stats(); st.MessagesPublished != 4*perChannel {
+		t.Fatalf("MessagesPublished = %d, want %d", st.MessagesPublished, 4*perChannel)
+	}
+}
+
+func TestEntryFor(t *testing.T) {
+	msg := Message{Header: []HeaderEntry{
+		{ClientID: 3, QueryIDs: []query.ID{7}},
+		{ClientID: 5, QueryIDs: []query.ID{8, 9}},
+	}}
+	if e, ok := msg.EntryFor(5); !ok || len(e.QueryIDs) != 2 {
+		t.Fatalf("EntryFor(5) = %v, %t", e, ok)
+	}
+	if _, ok := msg.EntryFor(4); ok {
+		t.Fatal("EntryFor(4) should miss")
+	}
+}
+
+func TestPartialLossRateStatistics(t *testing.T) {
+	n, _ := NewNetwork(1, WithLoss(0.3, 5))
+	defer n.Close()
+	sub, _ := n.Subscribe(0, 4096)
+	const total = 2000
+	for i := 0; i < total; i++ {
+		if err := n.Publish(testMessage(0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := n.Stats()
+	if st.Dropped+st.Deliveries != total {
+		t.Fatalf("dropped %d + delivered %d != %d", st.Dropped, st.Deliveries, total)
+	}
+	rate := float64(st.Dropped) / total
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("observed loss rate %.3f far from configured 0.3", rate)
+	}
+	sub.Cancel()
+}
+
+func TestSubscribeDuringTraffic(t *testing.T) {
+	n, _ := NewNetwork(1)
+	defer n.Close()
+	early, _ := n.Subscribe(0, 16)
+	n.Publish(testMessage(0, 1))
+	late, _ := n.Subscribe(0, 16)
+	n.Publish(testMessage(0, 1))
+	if got := len(early.C); got != 2 {
+		t.Fatalf("early subscriber buffered %d messages, want 2", got)
+	}
+	if got := len(late.C); got != 1 {
+		t.Fatalf("late subscriber buffered %d messages, want 1 (no replay)", got)
+	}
+	// The late subscriber's first message exposes the missed sequence.
+	if msg := <-late.C; msg.Seq != 2 {
+		t.Fatalf("late subscriber sees Seq %d, want 2", msg.Seq)
+	}
+}
+
+func TestNegativeBufferClamped(t *testing.T) {
+	n, _ := NewNetwork(1)
+	defer n.Close()
+	sub, err := n.Subscribe(0, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Message, 1)
+	go func() { done <- <-sub.C }()
+	if err := n.Publish(testMessage(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+func TestChannelStats(t *testing.T) {
+	n, _ := NewNetwork(3)
+	defer n.Close()
+	n.Publish(testMessage(0, 4))
+	n.Publish(testMessage(2, 1))
+	n.Publish(testMessage(2, 1))
+	st := n.ChannelStats()
+	if st[0].Messages != 1 || st[1].Messages != 0 || st[2].Messages != 2 {
+		t.Fatalf("per-channel messages = %+v", st)
+	}
+	if st[0].PayloadBytes != 28 {
+		t.Fatalf("channel 0 payload = %d, want 28", st[0].PayloadBytes)
+	}
+}

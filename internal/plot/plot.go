@@ -1,0 +1,129 @@
+// Package plot renders workloads and merged plans as SVG, using only the
+// standard library. It exists for the qsubplot tool and for eyeballing
+// the geometric behaviour of the merge procedures (Fig 5) on clustered
+// workloads (§9.1).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"qsub/internal/geom"
+)
+
+// palette cycles through merged-set fill colors.
+var palette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+	"#76b7b2", "#edc948", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// Plot accumulates SVG elements over a world rectangle.
+type Plot struct {
+	world   geom.Rect
+	width   int
+	height  int
+	body    strings.Builder
+	caption string
+}
+
+// New creates a plot of the world rectangle rendered at the given pixel
+// width (height follows the world's aspect ratio).
+func New(world geom.Rect, width int) *Plot {
+	if width < 100 {
+		width = 100
+	}
+	h := int(float64(width) * world.Height() / world.Width())
+	if h < 1 {
+		h = 1
+	}
+	return &Plot{world: world, width: width, height: h}
+}
+
+// xy maps a world point into SVG pixel coordinates (y flipped so north is
+// up).
+func (p *Plot) xy(pt geom.Point) (float64, float64) {
+	x := (pt.X - p.world.MinX) / p.world.Width() * float64(p.width)
+	y := float64(p.height) - (pt.Y-p.world.MinY)/p.world.Height()*float64(p.height)
+	return x, y
+}
+
+// Point draws one data point.
+func (p *Plot) Point(pt geom.Point) {
+	x, y := p.xy(pt)
+	fmt.Fprintf(&p.body, `<circle cx="%.1f" cy="%.1f" r="1" fill="#999" fill-opacity="0.5"/>`+"\n", x, y)
+}
+
+// Query outlines one subscription rectangle.
+func (p *Plot) Query(r geom.Rect) {
+	x0, y1 := p.xy(geom.Pt(r.MinX, r.MinY))
+	x1, y0 := p.xy(geom.Pt(r.MaxX, r.MaxY))
+	fmt.Fprintf(&p.body,
+		`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#222" stroke-width="1.2"/>`+"\n",
+		x0, y0, x1-x0, y1-y0)
+}
+
+// Region fills one merged region, colored by its set index.
+func (p *Plot) Region(region geom.Region, setIndex int) {
+	color := palette[setIndex%len(palette)]
+	switch t := region.(type) {
+	case geom.Rect:
+		p.fillRect(t, color)
+	case geom.Union:
+		for _, r := range t {
+			p.fillRect(r, color)
+		}
+	case geom.Polygon:
+		var pts []string
+		for _, v := range t {
+			x, y := p.xy(v)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		fmt.Fprintf(&p.body,
+			`<polygon points="%s" fill="%s" fill-opacity="0.25" stroke="%s" stroke-width="1"/>`+"\n",
+			strings.Join(pts, " "), color, color)
+	default:
+		p.fillRect(region.BoundingRect(), color)
+	}
+}
+
+func (p *Plot) fillRect(r geom.Rect, color string) {
+	if r.Empty() {
+		return
+	}
+	x0, y1 := p.xy(geom.Pt(r.MinX, r.MinY))
+	x1, y0 := p.xy(geom.Pt(r.MaxX, r.MaxY))
+	fmt.Fprintf(&p.body,
+		`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.25" stroke="%s" stroke-width="1"/>`+"\n",
+		x0, y0, x1-x0, y1-y0, color, color)
+}
+
+// Caption sets the footer text.
+func (p *Plot) Caption(s string) { p.caption = s }
+
+// WriteTo emits the complete SVG document.
+func (p *Plot) WriteTo(w io.Writer) (int64, error) {
+	var out strings.Builder
+	captionSpace := 0
+	if p.caption != "" {
+		captionSpace = 24
+	}
+	fmt.Fprintf(&out, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		p.width, p.height+captionSpace, p.width, p.height+captionSpace)
+	fmt.Fprintf(&out, `<rect x="0" y="0" width="%d" height="%d" fill="#fdfdfd" stroke="#ccc"/>`+"\n",
+		p.width, p.height)
+	out.WriteString(p.body.String())
+	if p.caption != "" {
+		fmt.Fprintf(&out, `<text x="6" y="%d" font-family="monospace" font-size="13" fill="#333">%s</text>`+"\n",
+			p.height+16, escape(p.caption))
+	}
+	out.WriteString("</svg>\n")
+	n, err := io.WriteString(w, out.String())
+	return int64(n), err
+}
+
+// escape sanitizes caption text for XML.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

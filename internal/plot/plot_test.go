@@ -1,0 +1,99 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"qsub/internal/geom"
+)
+
+func render(t *testing.T, build func(*Plot)) string {
+	t.Helper()
+	p := New(geom.R(0, 0, 100, 100), 400)
+	build(p)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// assertWellFormed parses the SVG as XML.
+func assertWellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestEmptyPlot(t *testing.T) {
+	svg := render(t, func(*Plot) {})
+	assertWellFormed(t, svg)
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("missing svg envelope")
+	}
+}
+
+func TestElements(t *testing.T) {
+	svg := render(t, func(p *Plot) {
+		p.Point(geom.Pt(10, 10))
+		p.Query(geom.R(20, 20, 40, 40))
+		p.Region(geom.R(15, 15, 45, 45), 0)
+		p.Region(geom.Union{geom.R(50, 50, 60, 60), geom.R(70, 70, 80, 80)}, 1)
+		p.Region(geom.ConvexHull([]geom.Point{{X: 5, Y: 5}, {X: 9, Y: 5}, {X: 7, Y: 9}}), 2)
+		p.Caption(`cost & "quotes" <tags>`)
+	})
+	assertWellFormed(t, svg)
+	for _, want := range []string{"<circle", "<rect", "<polygon", "<text"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("missing %s element:\n%s", want, svg)
+		}
+	}
+	if strings.Contains(svg, `"quotes"`) {
+		t.Fatal("caption not escaped")
+	}
+}
+
+func TestCoordinateMapping(t *testing.T) {
+	p := New(geom.R(0, 0, 100, 50), 400) // height should be 200
+	if p.height != 200 {
+		t.Fatalf("height = %d, want 200", p.height)
+	}
+	// World origin maps to bottom-left of the SVG.
+	x, y := p.xy(geom.Pt(0, 0))
+	if x != 0 || y != 200 {
+		t.Fatalf("origin maps to (%g, %g), want (0, 200)", x, y)
+	}
+	x, y = p.xy(geom.Pt(100, 50))
+	if x != 400 || y != 0 {
+		t.Fatalf("top-right maps to (%g, %g), want (400, 0)", x, y)
+	}
+}
+
+func TestMinimumWidth(t *testing.T) {
+	p := New(geom.R(0, 0, 10, 10), 1)
+	if p.width < 100 {
+		t.Fatalf("width %d should be clamped to at least 100", p.width)
+	}
+}
+
+func TestPaletteCycles(t *testing.T) {
+	svg := render(t, func(p *Plot) {
+		for i := 0; i < len(palette)+2; i++ {
+			p.Region(geom.R(float64(i), 0, float64(i)+1, 1), i)
+		}
+	})
+	assertWellFormed(t, svg)
+	if !strings.Contains(svg, palette[0]) || !strings.Contains(svg, palette[1]) {
+		t.Fatal("palette colors missing")
+	}
+}

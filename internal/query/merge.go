@@ -1,0 +1,172 @@
+package query
+
+import (
+	"sort"
+
+	"qsub/internal/geom"
+)
+
+// MergeProcedure is the paper's mrg() function (§3.2): it combines a set of
+// queries into a single merged query whose answer is a superset of every
+// input answer. BoundingRect, BoundingPolygon and Exact correspond to
+// Fig 5(a), 5(b) and 5(c); BandedHull is a rectilinear extension between
+// (a) and (c). The procedures trade off merged-query complexity,
+// extractor complexity, and the amount of irrelevant information in the
+// merged answer.
+type MergeProcedure interface {
+	// Merge returns the footprint of the merged query for the given
+	// input queries.
+	Merge(qs []Query) geom.Region
+	// Name returns a short identifier for reports and benchmarks.
+	Name() string
+}
+
+// BoundingRect is the bounding rectangle merge procedure of Fig 5(a): the
+// merged query is the smallest rectangle containing every input query. It
+// is the fastest procedure and produces the simplest merged query, at the
+// price of the most irrelevant information.
+type BoundingRect struct{}
+
+// Merge returns the bounding rectangle of the input query footprints.
+func (BoundingRect) Merge(qs []Query) geom.Region {
+	out := geom.EmptyRect()
+	for _, q := range qs {
+		out = out.Union(q.Region.BoundingRect())
+	}
+	return out
+}
+
+// Name returns "bounding-rect".
+func (BoundingRect) Name() string { return "bounding-rect" }
+
+// BoundingPolygon is the bounding polygon merge procedure of Fig 5(b): the
+// merged query is the convex hull of the input queries. It contains less
+// irrelevant information than the bounding rectangle but the merged query
+// has disjunctions (here: a convex polygon predicate).
+type BoundingPolygon struct{}
+
+// Merge returns the convex hull of the input query footprints.
+func (BoundingPolygon) Merge(qs []Query) geom.Region {
+	var pts []geom.Point
+	for _, q := range qs {
+		switch t := q.Region.(type) {
+		case geom.Rect:
+			c := t.Corners()
+			pts = append(pts, c[0], c[1], c[2], c[3])
+		case geom.Polygon:
+			pts = append(pts, t...)
+		case geom.Union:
+			for _, r := range t {
+				c := r.Corners()
+				pts = append(pts, c[0], c[1], c[2], c[3])
+			}
+		default:
+			c := t.BoundingRect().Corners()
+			pts = append(pts, c[0], c[1], c[2], c[3])
+		}
+	}
+	return geom.ConvexHull(pts)
+}
+
+// Name returns "bounding-polygon".
+func (BoundingPolygon) Name() string { return "bounding-polygon" }
+
+// Exact is the merge procedure of Fig 5(c): the merged query is the exact
+// union of the input queries, decomposed into disjoint rectangles, so the
+// merged answer contains no irrelevant information at all. The merged
+// query is the most complex of the three (a disjunction of rectangles) and
+// clients combine/filter against a multi-rectangle region.
+type Exact struct{}
+
+// Merge returns a disjoint-rectangle union covering exactly the input
+// query footprints.
+func (Exact) Merge(qs []Query) geom.Region {
+	var rects []geom.Rect
+	for _, q := range qs {
+		switch t := q.Region.(type) {
+		case geom.Rect:
+			rects = append(rects, t)
+		case geom.Union:
+			rects = append(rects, t...)
+		default:
+			rects = append(rects, t.BoundingRect())
+		}
+	}
+	return geom.Union(geom.DisjointCover(rects))
+}
+
+// Name returns "exact".
+func (Exact) Name() string { return "exact" }
+
+var (
+	_ MergeProcedure = BoundingRect{}
+	_ MergeProcedure = BoundingPolygon{}
+	_ MergeProcedure = Exact{}
+)
+
+// Procedures returns the merge procedures in order of decreasing
+// irrelevant information added: the three of Fig 5 plus the rectilinear
+// BandedHull extension (between bounding rectangle and exact).
+func Procedures() []MergeProcedure {
+	return []MergeProcedure{BoundingRect{}, BoundingPolygon{}, BandedHull{}, Exact{}}
+}
+
+// BandedHull is a rectilinear merge procedure between the bounding
+// rectangle and the exact union: the input rectangles' y-edges partition
+// the merged extent into horizontal bands, and each band spans the full
+// x-extent of the queries intersecting it. The result is a y-monotone
+// rectilinear region — tighter than the bounding rectangle wherever query
+// x-extents differ across bands, cheaper to compute and to test against
+// than the exact disjoint cover, and representable with the same Union
+// region type.
+type BandedHull struct{}
+
+// Merge returns the banded hull of the input query footprints.
+func (BandedHull) Merge(qs []Query) geom.Region {
+	var rects []geom.Rect
+	for _, q := range qs {
+		switch t := q.Region.(type) {
+		case geom.Rect:
+			rects = append(rects, t)
+		case geom.Union:
+			rects = append(rects, t...)
+		default:
+			rects = append(rects, t.BoundingRect())
+		}
+	}
+	var ys []float64
+	for _, r := range rects {
+		if !r.Empty() {
+			ys = append(ys, r.MinY, r.MaxY)
+		}
+	}
+	ys = sortUniqueFloats(ys)
+	var bands geom.Union
+	for i := 0; i+1 < len(ys); i++ {
+		lo, hi := ys[i], ys[i+1]
+		band := geom.EmptyRect()
+		for _, r := range rects {
+			if r.MinY < hi && r.MaxY > lo {
+				band = band.Union(geom.R(r.MinX, lo, r.MaxX, hi))
+			}
+		}
+		if !band.Empty() {
+			bands = append(bands, band)
+		}
+	}
+	return bands
+}
+
+// Name returns "banded-hull".
+func (BandedHull) Name() string { return "banded-hull" }
+
+func sortUniqueFloats(v []float64) []float64 {
+	sort.Float64s(v)
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package relation
+
+import (
+	"errors"
+
+	"qsub/internal/geom"
+)
+
+// Estimator predicts the answer size, in bytes, of a query with the given
+// geometric footprint. The cost model (§4) is driven entirely by size(q)
+// estimates; the paper cites standard selectivity estimation techniques
+// [MCS88] and we provide the three classical variants.
+type Estimator interface {
+	// SizeBytes estimates the transmission size of the answer to a
+	// query whose footprint is the given region.
+	SizeBytes(region geom.Region) float64
+}
+
+// Exact is an Estimator that counts the actual matching tuples. It is the
+// most precise and the most expensive; the experiment harness uses it so
+// heuristic-vs-optimal comparisons are not polluted by estimation error.
+type Exact struct {
+	Rel *Relation
+}
+
+// SizeBytes returns the exact answer size by scanning the grid index.
+func (e Exact) SizeBytes(region geom.Region) float64 {
+	return float64(e.Rel.SizeBytes(region))
+}
+
+// Uniform estimates sizes assuming tuples are uniformly distributed:
+// size = area × density × bytes-per-tuple. It is the cheapest estimator
+// and exact in expectation for uniform data.
+type Uniform struct {
+	// Density is the number of tuples per unit area.
+	Density float64
+	// BytesPerTuple is the average transmission size of one tuple.
+	BytesPerTuple float64
+}
+
+// SizeBytes returns area × density × bytes-per-tuple.
+func (u Uniform) SizeBytes(region geom.Region) float64 {
+	return region.Area() * u.Density * u.BytesPerTuple
+}
+
+// Histogram is an equi-width two-dimensional histogram estimator. It
+// supports the "non-uniform object space" extension (§11): cluster-heavy
+// data is summarized per bucket, and a query's size estimate is the sum of
+// bucket densities weighted by overlap fraction.
+type Histogram struct {
+	bounds        geom.Rect
+	nx, ny        int
+	bytesInBucket []float64
+}
+
+// BuildHistogram summarizes the relation into an nx × ny equi-width
+// histogram of answer bytes per bucket.
+func BuildHistogram(rel *Relation, nx, ny int) (*Histogram, error) {
+	if nx < 1 || ny < 1 {
+		return nil, errors.New("relation: histogram dimensions must be at least 1x1")
+	}
+	h := &Histogram{
+		bounds:        rel.Bounds(),
+		nx:            nx,
+		ny:            ny,
+		bytesInBucket: make([]float64, nx*ny),
+	}
+	for _, t := range rel.All() {
+		i := clampInt(int((t.Pos.X-h.bounds.MinX)/h.bounds.Width()*float64(nx)), 0, nx-1)
+		j := clampInt(int((t.Pos.Y-h.bounds.MinY)/h.bounds.Height()*float64(ny)), 0, ny-1)
+		h.bytesInBucket[j*nx+i] += float64(t.Size())
+	}
+	return h, nil
+}
+
+// SizeBytes estimates the answer size as the sum over histogram buckets of
+// bucket bytes × fraction of the bucket covered by the region. Coverage is
+// measured against the region's bounding rectangle intersected with the
+// bucket, then scaled by the region's area fill ratio inside its bounding
+// rectangle — exact for rectangles, an approximation for polygons and
+// unions.
+func (h *Histogram) SizeBytes(region geom.Region) float64 {
+	br := region.BoundingRect().Intersection(h.bounds)
+	if br.Empty() {
+		return 0
+	}
+	fill := 1.0
+	if bra := region.BoundingRect().Area(); bra > 0 {
+		fill = region.Area() / bra
+	}
+	bw := h.bounds.Width() / float64(h.nx)
+	bh := h.bounds.Height() / float64(h.ny)
+	i0 := clampInt(int((br.MinX-h.bounds.MinX)/bw), 0, h.nx-1)
+	i1 := clampInt(int((br.MaxX-h.bounds.MinX)/bw), 0, h.nx-1)
+	j0 := clampInt(int((br.MinY-h.bounds.MinY)/bh), 0, h.ny-1)
+	j1 := clampInt(int((br.MaxY-h.bounds.MinY)/bh), 0, h.ny-1)
+	total := 0.0
+	for j := j0; j <= j1; j++ {
+		for i := i0; i <= i1; i++ {
+			bucket := geom.Rect{
+				MinX: h.bounds.MinX + float64(i)*bw,
+				MinY: h.bounds.MinY + float64(j)*bh,
+				MaxX: h.bounds.MinX + float64(i+1)*bw,
+				MaxY: h.bounds.MinY + float64(j+1)*bh,
+			}
+			overlap := bucket.Intersection(br).Area()
+			if overlap <= 0 {
+				continue
+			}
+			total += h.bytesInBucket[j*h.nx+i] * (overlap / bucket.Area())
+		}
+	}
+	return total * fill
+}
+
+var (
+	_ Estimator = Exact{}
+	_ Estimator = Uniform{}
+	_ Estimator = (*Histogram)(nil)
+)

@@ -1,0 +1,45 @@
+package relation_test
+
+import (
+	"fmt"
+
+	"qsub/internal/geom"
+	"qsub/internal/relation"
+)
+
+// Example stores battlefield objects and runs a range search.
+func Example() {
+	rel := relation.MustNew(geom.R(0, 0, 100, 100), 10, 10)
+	rel.Insert(geom.Pt(10, 10), []byte("tank"))
+	rel.Insert(geom.Pt(20, 20), []byte("truck"))
+	rel.Insert(geom.Pt(90, 90), []byte("infantry"))
+
+	for _, t := range rel.Search(geom.R(0, 0, 50, 50)) {
+		fmt.Printf("%d: %s at %v\n", t.ID, t.Payload, t.Pos)
+	}
+	// Output:
+	// 1: tank at (10, 10)
+	// 2: truck at (20, 20)
+}
+
+// Example_estimators compares the three size estimators on the same
+// query.
+func Example_estimators() {
+	rel := relation.MustNew(geom.R(0, 0, 100, 100), 10, 10)
+	for x := 5.0; x < 100; x += 10 {
+		for y := 5.0; y < 100; y += 10 {
+			rel.Insert(geom.Pt(x, y), nil) // 100 tuples, uniform
+		}
+	}
+	q := geom.R(0, 0, 50, 50)
+	exact := relation.Exact{Rel: rel}
+	uniform := relation.Uniform{Density: 0.01, BytesPerTuple: 24}
+	hist, _ := relation.BuildHistogram(rel, 10, 10)
+	fmt.Printf("exact:     %.0f bytes\n", exact.SizeBytes(q))
+	fmt.Printf("uniform:   %.0f bytes\n", uniform.SizeBytes(q))
+	fmt.Printf("histogram: %.0f bytes\n", hist.SizeBytes(q))
+	// Output:
+	// exact:     600 bytes
+	// uniform:   600 bytes
+	// histogram: 600 bytes
+}

@@ -1,0 +1,204 @@
+package relation
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"qsub/internal/geom"
+)
+
+func populatedRelation(t *testing.T, n int, seed int64) *Relation {
+	t.Helper()
+	rel := MustNew(testBounds, 8, 8)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		payload := make([]byte, rng.Intn(16))
+		rng.Read(payload)
+		rel.Insert(geom.Pt(rng.Float64()*100, rng.Float64()*100), payload)
+	}
+	return rel
+}
+
+func assertSameTuples(t *testing.T, a, b *Relation) {
+	t.Helper()
+	ta, tb := a.All(), b.All()
+	if len(ta) != len(tb) {
+		t.Fatalf("tuple count %d vs %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i].ID != tb[i].ID || ta[i].Pos != tb[i].Pos || !bytes.Equal(ta[i].Payload, tb[i].Payload) {
+			t.Fatalf("tuple %d differs: %+v vs %+v", i, ta[i], tb[i])
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rel := populatedRelation(t, 500, 1)
+	var buf bytes.Buffer
+	if err := rel.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTuples(t, rel, got)
+	if got.Bounds() != rel.Bounds() {
+		t.Fatalf("bounds %v vs %v", got.Bounds(), rel.Bounds())
+	}
+	// Search works over the restored index.
+	q := geom.R(20, 20, 60, 60)
+	if rel.Count(q) != got.Count(q) {
+		t.Fatalf("restored count %d, want %d", got.Count(q), rel.Count(q))
+	}
+	// Id allocation continues past restored ids.
+	id := got.Insert(geom.Pt(1, 1), nil)
+	if id <= rel.MaxID() {
+		t.Fatalf("new id %d collides with restored ids (max %d)", id, rel.MaxID())
+	}
+}
+
+func TestSnapshotEmptyRelation(t *testing.T) {
+	rel := MustNew(testBounds, 4, 4)
+	var buf bytes.Buffer
+	if err := rel.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("restored %d tuples from empty snapshot", got.Len())
+	}
+}
+
+func TestSnapshotRejectsBadMagic(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("NOTASNAP00000000")), 4, 4); err == nil {
+		t.Fatal("bad magic should be rejected")
+	}
+}
+
+func TestSnapshotDetectsCorruption(t *testing.T) {
+	rel := populatedRelation(t, 50, 2)
+	var buf bytes.Buffer
+	if err := rel.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a byte inside the record area (past magic + header).
+	data[len(data)-3] ^= 0xFF
+	_, err := ReadSnapshot(bytes.NewReader(data), 4, 4)
+	if err == nil {
+		t.Fatal("corrupted snapshot should be rejected")
+	}
+	if !errors.Is(err, ErrBadSnapshot) && err.Error() == "" {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestSnapshotDetectsTruncation(t *testing.T) {
+	rel := populatedRelation(t, 50, 3)
+	var buf bytes.Buffer
+	if err := rel.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadSnapshot(bytes.NewReader(data), 4, 4); err == nil {
+		t.Fatal("truncated snapshot should be rejected")
+	}
+}
+
+func TestLoggerReplay(t *testing.T) {
+	rel := MustNew(testBounds, 8, 8)
+	var log bytes.Buffer
+	logger, err := NewLogger(rel, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		if _, err := logger.Insert(geom.Pt(rng.Float64()*100, rng.Float64()*100), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	restored := MustNew(testBounds, 8, 8)
+	applied, err := Replay(restored, bytes.NewReader(log.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 100 {
+		t.Fatalf("replayed %d inserts, want 100", applied)
+	}
+	assertSameTuples(t, rel, restored)
+}
+
+func TestReplayStopsAtTruncatedTail(t *testing.T) {
+	rel := MustNew(testBounds, 8, 8)
+	var log bytes.Buffer
+	logger, err := NewLogger(rel, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := logger.Insert(geom.Pt(float64(i), float64(i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash mid-write: drop the last few bytes.
+	data := log.Bytes()[:log.Len()-7]
+	restored := MustNew(testBounds, 8, 8)
+	applied, err := Replay(restored, bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("truncated tail should not error, got %v", err)
+	}
+	if applied != 9 {
+		t.Fatalf("replayed %d inserts, want 9 (last record torn)", applied)
+	}
+}
+
+func TestSnapshotPlusLogRecovery(t *testing.T) {
+	// The daemon recovery flow: load snapshot, replay the log written
+	// after it, and continue inserting with fresh ids.
+	rel := populatedRelation(t, 200, 5)
+	var snap bytes.Buffer
+	if err := rel.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	logger, err := NewLogger(rel, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := logger.Insert(geom.Pt(float64(i), 50), []byte("late")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	restored, err := ReadSnapshot(&snap, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(restored, bytes.NewReader(log.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	assertSameTuples(t, rel, restored)
+	if restored.MaxID() != rel.MaxID() {
+		t.Fatalf("MaxID %d vs %d", restored.MaxID(), rel.MaxID())
+	}
+}
+
+func TestReplayRejectsWrongStream(t *testing.T) {
+	rel := MustNew(testBounds, 4, 4)
+	var snap bytes.Buffer
+	if err := rel.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot is not a log.
+	if _, err := Replay(rel, &snap); err == nil {
+		t.Fatal("snapshot stream should be rejected by Replay")
+	}
+}

@@ -1,0 +1,297 @@
+// Package relation implements the database substrate of the subscription
+// server: an in-memory spatial relation R(x, y, payload) with a uniform
+// grid index for range search, plus the answer-size estimators the cost
+// model needs (the paper defers size estimation to "well-known database
+// system techniques [MCS88]"; we provide exact, uniform and histogram
+// estimators).
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"qsub/internal/geom"
+)
+
+// Tuple is one object stored in the relation: a position in the attribute
+// space and an opaque payload (the "other attributes" describing the
+// object in the BADD schema of §2).
+type Tuple struct {
+	ID      uint64
+	Pos     geom.Point
+	Payload []byte
+}
+
+// Size returns the transmission size of the tuple in bytes: the fixed
+// header (id + two float64 coordinates) plus the payload.
+func (t Tuple) Size() int { return tupleHeaderSize + len(t.Payload) }
+
+// tupleHeaderSize is the wire size of the fixed part of a tuple: a uint64
+// id and two float64 coordinates.
+const tupleHeaderSize = 8 + 8 + 8
+
+// Relation is an in-memory spatial relation with a pluggable spatial
+// index (uniform grid by default, R-tree via NewRTree). It is safe for
+// concurrent use: reads take a shared lock and writes an exclusive one,
+// matching the subscription server's pattern of bulk loads followed by
+// concurrent query cycles.
+type Relation struct {
+	mu     sync.RWMutex
+	bounds geom.Rect
+	index  spatialIndex
+	tuples []Tuple
+	dead   []bool         // tombstones, parallel to tuples
+	byID   map[uint64]int // live tuple id -> slot
+	live   int
+	delLog []deletion
+	nextID uint64
+}
+
+// deletion journals one removed tuple for delta dissemination: seq is the
+// watermark position of the delete (shared counter with inserted ids).
+type deletion struct {
+	t   Tuple
+	seq uint64
+}
+
+// New creates a relation covering the given bounds, indexed by an nx × ny
+// uniform grid. Tuples outside the bounds are still stored and searchable;
+// they land in the nearest boundary cell.
+func New(bounds geom.Rect, nx, ny int) (*Relation, error) {
+	if bounds.Empty() {
+		return nil, errors.New("relation: bounds must be non-empty")
+	}
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("relation: grid dimensions %dx%d must be at least 1x1", nx, ny)
+	}
+	return &Relation{
+		bounds: bounds,
+		index:  newGridIndex(bounds, nx, ny),
+		byID:   make(map[uint64]int),
+	}, nil
+}
+
+// NewRTree creates a relation covering the given bounds backed by an
+// R-tree with the given node fan-out (minimum 4). The R-tree adapts to
+// skewed data where a fixed grid degenerates.
+func NewRTree(bounds geom.Rect, maxEntries int) (*Relation, error) {
+	if bounds.Empty() {
+		return nil, errors.New("relation: bounds must be non-empty")
+	}
+	return &Relation{
+		bounds: bounds,
+		index:  newRTreeIndex(maxEntries),
+		byID:   make(map[uint64]int),
+	}, nil
+}
+
+// MustNew is New but panics on error; convenient for tests and examples
+// with constant arguments.
+func MustNew(bounds geom.Rect, nx, ny int) *Relation {
+	r, err := New(bounds, nx, ny)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Bounds returns the nominal attribute-space bounds of the relation.
+func (r *Relation) Bounds() geom.Rect { return r.bounds }
+
+// Len returns the number of live (not deleted) tuples.
+func (r *Relation) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.live
+}
+
+// Insert stores a new tuple at the given position and returns its assigned
+// id.
+func (r *Relation) Insert(pos geom.Point, payload []byte) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	id := r.nextID
+	idx := len(r.tuples)
+	r.tuples = append(r.tuples, Tuple{ID: id, Pos: pos, Payload: payload})
+	r.dead = append(r.dead, false)
+	r.byID[id] = idx
+	r.live++
+	r.index.insert(idx, pos)
+	return id
+}
+
+// Delete removes the tuple with the given id, reporting whether it
+// existed. Deleted slots become tombstones (skipped by searches and
+// excluded from snapshots; writing and reloading a snapshot compacts
+// them) and the deletion is journaled so delta dissemination can ship
+// removal notices (§11 dynamic scenario).
+func (r *Relation) Delete(id uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx, ok := r.byID[id]
+	if !ok {
+		return false
+	}
+	delete(r.byID, id)
+	r.dead[idx] = true
+	r.live--
+	r.nextID++ // deletes advance the watermark too
+	r.delLog = append(r.delLog, deletion{t: r.tuples[idx], seq: r.nextID})
+	return true
+}
+
+// DeletedSince returns the tuples deleted after the given watermark, in
+// deletion order. Pair with InsertedSince to build per-period deltas.
+func (r *Relation) DeletedSince(mark uint64) []Tuple {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Tuple
+	for _, d := range r.delLog {
+		if d.seq > mark {
+			out = append(out, d.t)
+		}
+	}
+	return out
+}
+
+// InsertBatch stores many tuples at once and returns the assigned ids.
+func (r *Relation) InsertBatch(positions []geom.Point, payload []byte) []uint64 {
+	ids := make([]uint64, len(positions))
+	for i, p := range positions {
+		ids[i] = r.Insert(p, payload)
+	}
+	return ids
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Search returns all tuples whose position lies inside the region, in
+// ascending id order. It uses the grid index to restrict the scan to cells
+// overlapping the region's bounding rectangle.
+func (r *Relation) Search(region geom.Region) []Tuple {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Tuple
+	r.scan(region, func(t Tuple) { out = append(out, t) })
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Count returns the number of tuples inside the region.
+func (r *Relation) Count(region geom.Region) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	r.scan(region, func(Tuple) { n++ })
+	return n
+}
+
+// SizeBytes returns the total transmission size of all tuples inside the
+// region: the exact value of the paper's size(q).
+func (r *Relation) SizeBytes(region geom.Region) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	r.scan(region, func(t Tuple) { n += t.Size() })
+	return n
+}
+
+// scan invokes fn for every tuple inside the region. Caller must hold at
+// least a read lock.
+func (r *Relation) scan(region geom.Region, fn func(Tuple)) {
+	br := region.BoundingRect()
+	if br.Empty() {
+		return
+	}
+	r.index.candidates(br, func(idx int) {
+		if r.dead[idx] {
+			return
+		}
+		t := r.tuples[idx]
+		if region.Contains(t.Pos) {
+			fn(t)
+		}
+	})
+}
+
+// All returns a copy of every live tuple in insertion order.
+func (r *Relation) All() []Tuple {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Tuple, 0, r.live)
+	for i, t := range r.tuples {
+		if !r.dead[i] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// InsertedSince returns tuples with id greater than the given id, in id
+// order. The continuous-query mode of the server uses this to disseminate
+// per-period deltas (future work §11: "queries are continuous, and return
+// new objects added to the database").
+func (r *Relation) InsertedSince(id uint64) []Tuple {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Tuple
+	for i, t := range r.tuples {
+		if t.ID > id && !r.dead[i] {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// MaxID returns the largest assigned tuple id (0 if the relation is
+// empty).
+func (r *Relation) MaxID() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.nextID
+}
+
+// Compact rebuilds the relation's storage and index without tombstones,
+// reclaiming the space of deleted tuples and clearing the deletion
+// journal. Ids and the watermark are preserved. Compact takes the write
+// lock for its whole duration.
+func (r *Relation) Compact() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tuples := make([]Tuple, 0, r.live)
+	for i, t := range r.tuples {
+		if !r.dead[i] {
+			tuples = append(tuples, t)
+		}
+	}
+	var index spatialIndex
+	switch old := r.index.(type) {
+	case *gridIndex:
+		index = newGridIndex(old.bounds, old.nx, old.ny)
+	case *rtreeIndex:
+		index = newRTreeIndex(old.maxEntries)
+	default:
+		index = newGridIndex(r.bounds, 16, 16)
+	}
+	r.tuples = tuples
+	r.dead = make([]bool, len(tuples))
+	r.byID = make(map[uint64]int, len(tuples))
+	r.delLog = nil
+	for i, t := range tuples {
+		r.byID[t.ID] = i
+		index.insert(i, t.Pos)
+	}
+	r.index = index
+}

@@ -1,0 +1,232 @@
+package relation
+
+import (
+	"sort"
+
+	"qsub/internal/geom"
+)
+
+// spatialIndex abstracts the access method of the relation: the uniform
+// grid of the paper's simulator, or an R-tree for skewed data. Both
+// report candidate tuple slots for a bounding rectangle; the relation
+// applies the exact region predicate afterwards.
+type spatialIndex interface {
+	// insert registers the tuple stored at slot idx at position p.
+	insert(idx int, p geom.Point)
+	// candidates invokes fn for every slot whose position may lie in
+	// br; it may over-approximate but must not miss.
+	candidates(br geom.Rect, fn func(idx int))
+}
+
+// gridIndex is the uniform nx × ny grid used by New.
+type gridIndex struct {
+	bounds geom.Rect
+	nx, ny int
+	cells  [][]int
+}
+
+func newGridIndex(bounds geom.Rect, nx, ny int) *gridIndex {
+	return &gridIndex{bounds: bounds, nx: nx, ny: ny, cells: make([][]int, nx*ny)}
+}
+
+func (g *gridIndex) cellOf(p geom.Point) int {
+	i := clampInt(int((p.X-g.bounds.MinX)/g.bounds.Width()*float64(g.nx)), 0, g.nx-1)
+	j := clampInt(int((p.Y-g.bounds.MinY)/g.bounds.Height()*float64(g.ny)), 0, g.ny-1)
+	return j*g.nx + i
+}
+
+func (g *gridIndex) insert(idx int, p geom.Point) {
+	c := g.cellOf(p)
+	g.cells[c] = append(g.cells[c], idx)
+}
+
+func (g *gridIndex) candidates(br geom.Rect, fn func(idx int)) {
+	i0 := clampInt(int((br.MinX-g.bounds.MinX)/g.bounds.Width()*float64(g.nx)), 0, g.nx-1)
+	i1 := clampInt(int((br.MaxX-g.bounds.MinX)/g.bounds.Width()*float64(g.nx)), 0, g.nx-1)
+	j0 := clampInt(int((br.MinY-g.bounds.MinY)/g.bounds.Height()*float64(g.ny)), 0, g.ny-1)
+	j1 := clampInt(int((br.MaxY-g.bounds.MinY)/g.bounds.Height()*float64(g.ny)), 0, g.ny-1)
+	for j := j0; j <= j1; j++ {
+		for i := i0; i <= i1; i++ {
+			for _, idx := range g.cells[j*g.nx+i] {
+				fn(idx)
+			}
+		}
+	}
+}
+
+// rtreeIndex is a point R-tree with least-enlargement insertion and
+// longest-axis median splits. It adapts to skew (clustered battlefield
+// data) without the grid's fixed resolution.
+type rtreeIndex struct {
+	root       *rtreeNode
+	maxEntries int
+}
+
+// rtreeNode is either a leaf (ids/pts set) or an internal node (children
+// set).
+type rtreeNode struct {
+	bounds   geom.Rect
+	children []*rtreeNode
+	ids      []int
+	pts      []geom.Point
+}
+
+func newRTreeIndex(maxEntries int) *rtreeIndex {
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	return &rtreeIndex{
+		root:       &rtreeNode{bounds: geom.EmptyRect()},
+		maxEntries: maxEntries,
+	}
+}
+
+func (t *rtreeIndex) insert(idx int, p geom.Point) {
+	split := t.insertAt(t.root, idx, p)
+	if split != nil {
+		// Root split: grow the tree by one level.
+		old := t.root
+		t.root = &rtreeNode{
+			bounds:   old.bounds.Union(split.bounds),
+			children: []*rtreeNode{old, split},
+		}
+	}
+}
+
+// insertAt descends to a leaf, inserting the point; it returns a new
+// sibling when the visited node split.
+func (t *rtreeIndex) insertAt(n *rtreeNode, idx int, p geom.Point) *rtreeNode {
+	n.bounds = n.bounds.Union(geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y})
+	if n.children == nil {
+		n.ids = append(n.ids, idx)
+		n.pts = append(n.pts, p)
+		if len(n.ids) > t.maxEntries {
+			return splitLeaf(n)
+		}
+		return nil
+	}
+	best := n.children[0]
+	bestGrowth := enlargement(best.bounds, p)
+	for _, c := range n.children[1:] {
+		if g := enlargement(c.bounds, p); g < bestGrowth ||
+			(g == bestGrowth && c.bounds.Area() < best.bounds.Area()) {
+			best, bestGrowth = c, g
+		}
+	}
+	if split := t.insertAt(best, idx, p); split != nil {
+		n.children = append(n.children, split)
+		if len(n.children) > t.maxEntries {
+			return splitInternal(n)
+		}
+	}
+	return nil
+}
+
+// enlargement is the area growth of r when extended to contain p.
+func enlargement(r geom.Rect, p geom.Point) float64 {
+	if r.Empty() {
+		return 0
+	}
+	grown := r.Union(geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y})
+	return grown.Area() - r.Area()
+}
+
+// splitLeaf divides a leaf along the median of its longer axis and
+// returns the new sibling; n keeps the lower half.
+func splitLeaf(n *rtreeNode) *rtreeNode {
+	byX := n.bounds.Width() >= n.bounds.Height()
+	order := make([]int, len(n.ids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := n.pts[order[a]], n.pts[order[b]]
+		if byX {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	mid := len(order) / 2
+	lowIDs := make([]int, 0, mid)
+	lowPts := make([]geom.Point, 0, mid)
+	highIDs := make([]int, 0, len(order)-mid)
+	highPts := make([]geom.Point, 0, len(order)-mid)
+	for i, o := range order {
+		if i < mid {
+			lowIDs = append(lowIDs, n.ids[o])
+			lowPts = append(lowPts, n.pts[o])
+		} else {
+			highIDs = append(highIDs, n.ids[o])
+			highPts = append(highPts, n.pts[o])
+		}
+	}
+	sibling := &rtreeNode{ids: highIDs, pts: highPts, bounds: boundsOfPoints(highPts)}
+	n.ids, n.pts = lowIDs, lowPts
+	n.bounds = boundsOfPoints(lowPts)
+	return sibling
+}
+
+// splitInternal divides an internal node's children by the median center
+// of the longer axis.
+func splitInternal(n *rtreeNode) *rtreeNode {
+	byX := n.bounds.Width() >= n.bounds.Height()
+	sort.Slice(n.children, func(a, b int) bool {
+		ca, cb := n.children[a].bounds, n.children[b].bounds
+		if byX {
+			return ca.MinX+ca.MaxX < cb.MinX+cb.MaxX
+		}
+		return ca.MinY+ca.MaxY < cb.MinY+cb.MaxY
+	})
+	mid := len(n.children) / 2
+	sibling := &rtreeNode{children: append([]*rtreeNode(nil), n.children[mid:]...)}
+	n.children = n.children[:mid]
+	n.bounds = boundsOfChildren(n.children)
+	sibling.bounds = boundsOfChildren(sibling.children)
+	return sibling
+}
+
+func boundsOfPoints(pts []geom.Point) geom.Rect {
+	out := geom.EmptyRect()
+	for _, p := range pts {
+		out = out.Union(geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y})
+	}
+	return out
+}
+
+func boundsOfChildren(children []*rtreeNode) geom.Rect {
+	out := geom.EmptyRect()
+	for _, c := range children {
+		out = out.Union(c.bounds)
+	}
+	return out
+}
+
+func (t *rtreeIndex) candidates(br geom.Rect, fn func(idx int)) {
+	t.walk(t.root, br, fn)
+}
+
+func (t *rtreeIndex) walk(n *rtreeNode, br geom.Rect, fn func(idx int)) {
+	if !n.bounds.Intersects(br) {
+		return
+	}
+	if n.children == nil {
+		for i, p := range n.pts {
+			if br.Contains(p) {
+				fn(n.ids[i])
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.walk(c, br, fn)
+	}
+}
+
+// depth returns the height of the tree (for tests).
+func (t *rtreeIndex) depth() int {
+	d := 1
+	for n := t.root; n.children != nil; n = n.children[0] {
+		d++
+	}
+	return d
+}

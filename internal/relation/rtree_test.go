@@ -1,0 +1,130 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+
+	"qsub/internal/geom"
+)
+
+func TestRTreeMatchesGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	grid := MustNew(testBounds, 10, 10)
+	rt, err := NewRTree(testBounds, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		p := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		grid.Insert(p, []byte("x"))
+		rt.Insert(p, []byte("x"))
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := geom.RectFromPoints(
+			geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			geom.Pt(rng.Float64()*100, rng.Float64()*100),
+		)
+		a, b := grid.Search(q), rt.Search(q)
+		if len(a) != len(b) {
+			t.Fatalf("grid found %d, rtree found %d for %v", len(a), len(b), q)
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				t.Fatalf("result order mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestRTreeSkewedData(t *testing.T) {
+	// Everything in one tiny corner: the tree must still answer
+	// correctly and stay reasonably shallow.
+	rt, err := NewRTree(testBounds, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 3000; i++ {
+		rt.Insert(geom.Pt(rng.Float64(), rng.Float64()), nil)
+	}
+	if n := rt.Count(geom.R(0, 0, 1, 1)); n != 3000 {
+		t.Fatalf("Count = %d, want 3000", n)
+	}
+	if n := rt.Count(geom.R(50, 50, 100, 100)); n != 0 {
+		t.Fatalf("far query Count = %d, want 0", n)
+	}
+	idx := rt.index.(*rtreeIndex)
+	if d := idx.depth(); d < 2 || d > 12 {
+		t.Fatalf("suspicious tree depth %d for 3000 skewed points", d)
+	}
+}
+
+func TestRTreeValidation(t *testing.T) {
+	if _, err := NewRTree(geom.EmptyRect(), 8); err == nil {
+		t.Fatal("empty bounds should be rejected")
+	}
+	rt, err := NewRTree(testBounds, 1) // clamped to the minimum fan-out
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		rt.Insert(geom.Pt(float64(i), float64(i)), nil)
+	}
+	if n := rt.Count(testBounds); n != 100 {
+		t.Fatalf("Count = %d, want 100", n)
+	}
+}
+
+func TestRTreePolygonAndUnionRegions(t *testing.T) {
+	rt, err := NewRTree(testBounds, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Insert(geom.Pt(10, 10), nil)
+	rt.Insert(geom.Pt(30, 10), nil)
+	rt.Insert(geom.Pt(90, 90), nil)
+	tri := geom.ConvexHull([]geom.Point{geom.Pt(5, 5), geom.Pt(15, 5), geom.Pt(5, 15), geom.Pt(15, 15)})
+	if n := rt.Count(tri); n != 1 {
+		t.Fatalf("polygon Count = %d, want 1", n)
+	}
+	u := geom.Union{geom.R(5, 5, 35, 15), geom.R(85, 85, 95, 95)}
+	if n := rt.Count(u); n != 3 {
+		t.Fatalf("union Count = %d, want 3", n)
+	}
+}
+
+func BenchmarkIndexComparison(b *testing.B) {
+	// Clustered data: the regime where the R-tree should shine over the
+	// uniform grid.
+	rng := rand.New(rand.NewSource(10))
+	pts := make([]geom.Point, 50000)
+	for i := range pts {
+		cx, cy := float64(rng.Intn(5))*20, float64(rng.Intn(5))*20
+		pts[i] = geom.Pt(cx+rng.NormFloat64(), cy+rng.NormFloat64())
+	}
+	queries := make([]geom.Rect, 100)
+	for i := range queries {
+		x, y := rng.Float64()*95, rng.Float64()*95
+		queries[i] = geom.RectWH(x, y, 5, 5)
+	}
+	b.Run("grid", func(b *testing.B) {
+		rel := MustNew(testBounds, 25, 25)
+		for _, p := range pts {
+			rel.Insert(p, nil)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rel.Count(queries[i%len(queries)])
+		}
+	})
+	b.Run("rtree", func(b *testing.B) {
+		rel, _ := NewRTree(testBounds, 16)
+		for _, p := range pts {
+			rel.Insert(p, nil)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rel.Count(queries[i%len(queries)])
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"qsub/internal/multicast"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+)
+
+// Scheduler implements the general form of the §3.1 conceptual model.
+// The paper simplifies subscriptions to "a query and its timing
+// requirements... For simplicity, we assume that all subscriptions have
+// identical timing requirements"; the scheduler removes that
+// simplification by partitioning subscriptions into period groups.
+// Queries with the same period are merged together (the paper's problem,
+// once per group); groups fire on ticks divisible by their period.
+//
+// Merging across different periods is intentionally not attempted: a
+// merged answer is produced at the rate of its most frequent member, so
+// cross-period merging would re-send slow subscriptions at the fast rate
+// — exactly the waste the cost model penalizes.
+type Scheduler struct {
+	rel *relation.Relation
+	net *multicast.Network
+	cfg Config
+
+	mu      sync.Mutex
+	groups  map[int]*Server // period (in ticks) -> that group's server
+	dirty   map[int]bool    // group needs re-planning
+	cycles  map[int]*Cycle  // cached plan per group
+	tick    uint64
+	periods []int // sorted, for deterministic iteration
+}
+
+// NewScheduler creates a periodic scheduler sharing one relation and one
+// multicast network across all period groups.
+func NewScheduler(rel *relation.Relation, net *multicast.Network, cfg Config) (*Scheduler, error) {
+	if rel == nil || net == nil {
+		return nil, fmt.Errorf("server: scheduler needs a relation and a network")
+	}
+	return &Scheduler{
+		rel:    rel,
+		net:    net,
+		cfg:    cfg,
+		groups: make(map[int]*Server),
+		dirty:  make(map[int]bool),
+		cycles: make(map[int]*Cycle),
+	}, nil
+}
+
+// Subscribe registers a query to run every period ticks (period ≥ 1).
+func (s *Scheduler) Subscribe(clientID int, q query.Query, period int) error {
+	if period < 1 {
+		return fmt.Errorf("server: period %d must be at least 1", period)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	grp, ok := s.groups[period]
+	if !ok {
+		var err error
+		grp, err = New(s.rel, s.net, s.cfg)
+		if err != nil {
+			return err
+		}
+		s.groups[period] = grp
+		s.periods = append(s.periods, period)
+		sort.Ints(s.periods)
+	}
+	if err := grp.Subscribe(clientID, q); err != nil {
+		return err
+	}
+	s.dirty[period] = true
+	return nil
+}
+
+// Unsubscribe removes a query from its period group; it reports whether
+// the subscription existed.
+func (s *Scheduler) Unsubscribe(clientID int, id query.ID, period int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	grp, ok := s.groups[period]
+	if !ok {
+		return false
+	}
+	if !grp.Unsubscribe(clientID, id) {
+		return false
+	}
+	s.dirty[period] = true
+	return true
+}
+
+// Cycle returns the (possibly cached) plan for a period group,
+// re-planning when its subscriptions changed. The caller must hold the
+// lock.
+func (s *Scheduler) cycleLocked(period int) (*Cycle, error) {
+	if !s.dirty[period] {
+		if cy, ok := s.cycles[period]; ok {
+			return cy, nil
+		}
+	}
+	cy, err := s.groups[period].Plan()
+	if err != nil {
+		return nil, err
+	}
+	s.cycles[period] = cy
+	s.dirty[period] = false
+	return cy, nil
+}
+
+// GroupCycle exposes the current plan of a period group so clients can
+// learn their channel assignments.
+func (s *Scheduler) GroupCycle(period int) (*Cycle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.groups[period]; !ok {
+		return nil, fmt.Errorf("server: no subscriptions with period %d", period)
+	}
+	return s.cycleLocked(period)
+}
+
+// TickReport summarizes the groups that fired on one tick.
+type TickReport struct {
+	Tick   uint64
+	Fired  []int // periods that published
+	Report Report
+}
+
+// Tick advances the clock by one and publishes every group whose period
+// divides the new tick. Delta mode ships only tuples inserted since the
+// group's previous firing.
+func (s *Scheduler) Tick(delta bool) (TickReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tick++
+	rep := TickReport{Tick: s.tick}
+	for _, p := range s.periods {
+		if s.tick%uint64(p) != 0 {
+			continue
+		}
+		cy, err := s.cycleLocked(p)
+		if err != nil {
+			// A group can transiently have no subscriptions (all
+			// unsubscribed); skip it.
+			continue
+		}
+		var r Report
+		if delta {
+			r, err = s.groups[p].PublishDelta(cy)
+		} else {
+			r, err = s.groups[p].Publish(cy)
+		}
+		if err != nil {
+			return rep, fmt.Errorf("server: period-%d group: %w", p, err)
+		}
+		rep.Fired = append(rep.Fired, p)
+		rep.Report.Messages += r.Messages
+		rep.Report.PayloadBytes += r.PayloadBytes
+		rep.Report.Tuples += r.Tuples
+	}
+	return rep, nil
+}
+
+// Periods returns the registered period groups in ascending order.
+func (s *Scheduler) Periods() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.periods...)
+}

@@ -1,0 +1,465 @@
+// Package server implements the subscription server of §3.1: it accepts
+// query subscriptions from clients, periodically merges them with a query
+// merging algorithm (§6), allocates clients to multicast channels (§8),
+// executes the merged queries against the spatial relation, and publishes
+// the merged answers with extraction headers over the multicast network.
+//
+// The server supports the dynamic scenario of §11: subscriptions can be
+// added and removed between cycles, and a continuous mode disseminates
+// only the tuples inserted since the previous cycle.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"qsub/internal/chanalloc"
+	"qsub/internal/core"
+	"qsub/internal/cost"
+	"qsub/internal/multicast"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+)
+
+// Config selects the server's policies. Zero-value fields fall back to
+// the defaults documented per field.
+type Config struct {
+	// Model is the cost model driving merge and allocation decisions.
+	Model cost.Model
+	// Procedure is the merge procedure (default query.BoundingRect).
+	Procedure query.MergeProcedure
+	// Algorithm is the merging algorithm (default core.PairMerge).
+	Algorithm core.Algorithm
+	// Estimator predicts answer sizes (default relation.Exact over the
+	// server's relation).
+	Estimator relation.Estimator
+	// Strategy picks the channel allocation heuristic when the network
+	// has more than one channel.
+	Strategy chanalloc.Strategy
+	// Split enables the §11 query-splitting refinement: a query whose
+	// footprint is already covered by other merged answers on its
+	// channel is not transmitted separately; its subscriber extracts it
+	// from the covering messages.
+	Split bool
+	// Seed drives the randomized pieces (random-init allocation).
+	Seed int64
+}
+
+// Server owns the subscription registry and the merge/publish cycle.
+type Server struct {
+	rel *relation.Relation
+	net *multicast.Network
+	cfg Config
+
+	mu        sync.Mutex
+	subs      map[int][]query.Query // client id -> subscriptions
+	delivered uint64                // high-water tuple id for delta mode
+}
+
+// New creates a server over the given relation and network.
+func New(rel *relation.Relation, net *multicast.Network, cfg Config) (*Server, error) {
+	if rel == nil {
+		return nil, errors.New("server: nil relation")
+	}
+	if net == nil {
+		return nil, errors.New("server: nil network")
+	}
+	if cfg.Procedure == nil {
+		cfg.Procedure = query.BoundingRect{}
+	}
+	if cfg.Algorithm == nil {
+		cfg.Algorithm = core.PairMerge{}
+	}
+	if cfg.Estimator == nil {
+		cfg.Estimator = relation.Exact{Rel: rel}
+	}
+	return &Server{
+		rel:  rel,
+		net:  net,
+		cfg:  cfg,
+		subs: make(map[int][]query.Query),
+	}, nil
+}
+
+// Relation returns the server's relation (for loading data).
+func (s *Server) Relation() *relation.Relation { return s.rel }
+
+// Subscribe registers queries for a client. Query ids must be unique per
+// client.
+func (s *Server) Subscribe(clientID int, qs ...query.Query) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, q := range qs {
+		for _, existing := range s.subs[clientID] {
+			if existing.ID == q.ID {
+				return fmt.Errorf("server: client %d already subscribes query %d", clientID, q.ID)
+			}
+		}
+		s.subs[clientID] = append(s.subs[clientID], q)
+	}
+	return nil
+}
+
+// Unsubscribe removes one query subscription; it reports whether the
+// subscription existed.
+func (s *Server) Unsubscribe(clientID int, id query.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	qs := s.subs[clientID]
+	for i, q := range qs {
+		if q.ID == id {
+			s.subs[clientID] = append(qs[:i], qs[i+1:]...)
+			if len(s.subs[clientID]) == 0 {
+				delete(s.subs, clientID)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Cycle is one planned dissemination round: the merged plans per channel
+// and the client-to-channel map. A Cycle stays valid until subscriptions
+// change.
+type Cycle struct {
+	// Queries is the flattened (client, query) list the plan indexes
+	// into.
+	Queries []query.Query
+	// Owners[i] is the client owning Queries[i].
+	Owners []int
+	// ClientChannel maps each client id to its assigned channel.
+	ClientChannel map[int]int
+	// ChannelPlans[ch] partitions that channel's query indices into
+	// merged sets.
+	ChannelPlans []core.Plan
+	// ChannelCovered[ch] maps query indices dropped from transmission
+	// by split optimization (§11) to the ChannelPlans[ch] set indices
+	// whose merged answers cover them. Nil when splitting is disabled
+	// or nothing was dropped on that channel.
+	ChannelCovered []map[int][]int
+	// EstimatedCost is the model cost of the whole cycle.
+	EstimatedCost float64
+	// InitialCost is the model cost without any merging, for savings
+	// reports.
+	InitialCost float64
+}
+
+// Plan snapshots the current subscriptions, runs channel allocation and
+// query merging, and returns the cycle. Clients should subscribe to their
+// assigned channels before Publish is called.
+func (s *Server) Plan() (*Cycle, error) {
+	s.mu.Lock()
+	clients := make([]int, 0, len(s.subs))
+	for id := range s.subs {
+		clients = append(clients, id)
+	}
+	sort.Ints(clients)
+	var qs []query.Query
+	var owners []int
+	clientQueryIdx := make([][]int, len(clients))
+	for ci, id := range clients {
+		for _, q := range s.subs[id] {
+			clientQueryIdx[ci] = append(clientQueryIdx[ci], len(qs))
+			qs = append(qs, q)
+			owners = append(owners, id)
+		}
+	}
+	s.mu.Unlock()
+
+	if len(qs) == 0 {
+		return nil, errors.New("server: no subscriptions to plan")
+	}
+
+	inst := core.NewGeomInstance(s.cfg.Model, qs, s.cfg.Procedure, s.cfg.Estimator)
+	cy := &Cycle{
+		Queries:       qs,
+		Owners:        owners,
+		ClientChannel: make(map[int]int, len(clients)),
+		ChannelPlans:  make([]core.Plan, s.net.Channels()),
+		InitialCost:   inst.InitialCost(),
+	}
+
+	if s.net.Channels() == 1 || len(clients) == 1 {
+		for _, id := range clients {
+			cy.ClientChannel[id] = 0
+		}
+		plan := s.cfg.Algorithm.Solve(inst)
+		cy.ChannelPlans[0] = plan
+		cy.EstimatedCost = inst.Cost(plan)
+		s.applySplit(cy, len(clients))
+		return cy, nil
+	}
+
+	prob := &chanalloc.Problem{
+		Inst:     inst,
+		Clients:  clientQueryIdx,
+		Channels: s.net.Channels(),
+		Merger:   s.cfg.Algorithm,
+	}
+	alloc, total, err := chanalloc.Heuristic(prob, s.cfg.Strategy, s.cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("server: channel allocation: %w", err)
+	}
+	for ci, ch := range alloc {
+		cy.ClientChannel[clients[ci]] = ch
+	}
+	for ch, plan := range chanalloc.Plans(prob, alloc) {
+		cy.ChannelPlans[ch] = plan
+	}
+	cy.EstimatedCost = total
+	// The no-merging baseline must be charged under the same channel
+	// allocation (including per-listener filtering), or the comparison
+	// would mix §4 and §7 cost models.
+	noMerge := &chanalloc.Problem{
+		Inst:     inst,
+		Clients:  clientQueryIdx,
+		Channels: s.net.Channels(),
+		Merger:   core.NoMerge{},
+	}
+	cy.InitialCost = chanalloc.Cost(noMerge, alloc)
+	s.applySplit(cy, len(clients))
+	return cy, nil
+}
+
+// applySplit runs the §11 query-splitting refinement over every channel
+// plan when the configuration enables it. Transmission sets whose members
+// are covered by the channel's other merged answers are dropped; the
+// covered queries are recorded in ChannelCovered and their subscribers
+// are addressed on the covering messages instead.
+func (s *Server) applySplit(cy *Cycle, numClients int) {
+	if !s.cfg.Split {
+		return
+	}
+	cy.ChannelCovered = make([]map[int][]int, len(cy.ChannelPlans))
+	savings := 0.0
+	for ch, plan := range cy.ChannelPlans {
+		if len(plan) < 2 {
+			continue
+		}
+		model := s.cfg.Model
+		if s.net.Channels() > 1 {
+			// Charge the per-listener filtering the channel's own
+			// cost was computed with.
+			listeners := 0
+			for _, c := range cy.ClientChannel {
+				if c == ch {
+					listeners++
+				}
+			}
+			model.KM += model.K6 * float64(listeners)
+		} else {
+			model.KM += model.K6 * float64(numClients)
+		}
+		inst := core.NewGeomInstance(model, cy.Queries, s.cfg.Procedure, s.cfg.Estimator)
+		before := inst.Cost(plan)
+		cp := core.SplitQueries(model, cy.Queries, s.cfg.Procedure, s.cfg.Estimator, plan)
+		if len(cp.Covered) == 0 {
+			continue
+		}
+		cy.ChannelPlans[ch] = cp.Plan
+		cy.ChannelCovered[ch] = cp.Covered
+		savings += before - cp.Cost
+	}
+	cy.EstimatedCost -= savings
+}
+
+// Report summarizes one Publish round.
+type Report struct {
+	// Messages is the number of merged answers published.
+	Messages int
+	// PayloadBytes is the total payload volume published.
+	PayloadBytes int
+	// Tuples is the total number of tuples published.
+	Tuples int
+}
+
+// Publish executes the cycle's merged queries against the relation and
+// publishes one message per merged set on the owning channel, with the
+// §3.1 header addressing each subscribed client.
+func (s *Server) Publish(cy *Cycle) (Report, error) {
+	return s.publish(cy, 0, false)
+}
+
+// PublishDelta publishes only tuples inserted since the previous delta
+// cycle (future work §11: continuous queries as objects-per-period). The
+// first call behaves like Publish; later calls ship the per-period delta.
+func (s *Server) PublishDelta(cy *Cycle) (Report, error) {
+	s.mu.Lock()
+	since := s.delivered
+	s.delivered = s.rel.MaxID()
+	s.mu.Unlock()
+	return s.publish(cy, since, true)
+}
+
+// publish executes every merged query and publishes the results. Query
+// execution (the server-cost-dominating step) runs concurrently across
+// merged sets with one worker per CPU; messages are then published in
+// deterministic channel/set order.
+func (s *Server) publish(cy *Cycle, sinceID uint64, delta bool) (Report, error) {
+	type job struct {
+		ch, si int
+		set    []int
+	}
+	var jobs []job
+	for ch, plan := range cy.ChannelPlans {
+		for si, set := range plan {
+			jobs = append(jobs, job{ch: ch, si: si, set: set})
+		}
+	}
+
+	var deleted []relation.Tuple
+	if delta && sinceID > 0 {
+		deleted = s.rel.DeletedSince(sinceID)
+	}
+	results := make([][]relation.Tuple, len(jobs))
+	removed := make([][]uint64, len(jobs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				j := jobs[idx]
+				members := make([]query.Query, len(j.set))
+				for i, qi := range j.set {
+					members[i] = cy.Queries[qi]
+				}
+				region := s.cfg.Procedure.Merge(members)
+				tuples := s.rel.Search(region)
+				if delta && sinceID > 0 {
+					kept := tuples[:0]
+					for _, t := range tuples {
+						if t.ID > sinceID {
+							kept = append(kept, t)
+						}
+					}
+					tuples = kept
+					for _, dt := range deleted {
+						if region.Contains(dt.Pos) {
+							removed[idx] = append(removed[idx], dt.ID)
+						}
+					}
+				}
+				results[idx] = tuples
+			}
+		}()
+	}
+	for idx := range jobs {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+
+	var rep Report
+	for idx, j := range jobs {
+		// Split-covered queries extract from this message too.
+		addressed := j.set
+		if cy.ChannelCovered != nil && cy.ChannelCovered[j.ch] != nil {
+			for q, covers := range cy.ChannelCovered[j.ch] {
+				for _, c := range covers {
+					if c == j.si {
+						addressed = append(append([]int{}, addressed...), q)
+						break
+					}
+				}
+			}
+		}
+		msg := multicast.Message{
+			Channel: j.ch,
+			Tuples:  results[idx],
+			Header:  buildHeader(cy, addressed),
+			Delta:   delta,
+			Removed: removed[idx],
+		}
+		if err := s.net.Publish(msg); err != nil {
+			return rep, fmt.Errorf("server: publish on channel %d: %w", j.ch, err)
+		}
+		rep.Messages++
+		rep.PayloadBytes += msg.PayloadBytes()
+		rep.Tuples += len(results[idx])
+	}
+	return rep, nil
+}
+
+// buildHeader groups the merged set's queries by owning client, producing
+// the (client, extractor-query-ids) entries of §3.1.
+func buildHeader(cy *Cycle, set []int) []multicast.HeaderEntry {
+	byClient := map[int][]query.ID{}
+	for _, qi := range set {
+		owner := cy.Owners[qi]
+		byClient[owner] = append(byClient[owner], cy.Queries[qi].ID)
+	}
+	clients := make([]int, 0, len(byClient))
+	for id := range byClient {
+		clients = append(clients, id)
+	}
+	sort.Ints(clients)
+	header := make([]multicast.HeaderEntry, len(clients))
+	for i, id := range clients {
+		header[i] = multicast.HeaderEntry{ClientID: id, QueryIDs: byClient[id]}
+	}
+	return header
+}
+
+// ValidateCycle checks a cycle's structural invariants: every query
+// appears in exactly one transmitted set or is covered by split
+// assignments, channels are in range, and owners are consistent. The
+// tests run it after every plan; callers embedding the server can use it
+// as a tripwire.
+func ValidateCycle(cy *Cycle, channels int) error {
+	if cy == nil {
+		return errors.New("server: nil cycle")
+	}
+	if len(cy.Owners) != len(cy.Queries) {
+		return fmt.Errorf("server: %d owners for %d queries", len(cy.Owners), len(cy.Queries))
+	}
+	if len(cy.ChannelPlans) != channels {
+		return fmt.Errorf("server: %d channel plans for %d channels", len(cy.ChannelPlans), channels)
+	}
+	seen := make([]int, len(cy.Queries))
+	for ch, plan := range cy.ChannelPlans {
+		for _, set := range plan {
+			for _, q := range set {
+				if q < 0 || q >= len(cy.Queries) {
+					return fmt.Errorf("server: channel %d references unknown query %d", ch, q)
+				}
+				seen[q]++
+			}
+		}
+		if cy.ChannelCovered != nil && cy.ChannelCovered[ch] != nil {
+			for q, covers := range cy.ChannelCovered[ch] {
+				if q < 0 || q >= len(cy.Queries) {
+					return fmt.Errorf("server: covered entry references unknown query %d", q)
+				}
+				if len(covers) == 0 {
+					return fmt.Errorf("server: covered query %d has no covering sets", q)
+				}
+				for _, c := range covers {
+					if c < 0 || c >= len(plan) {
+						return fmt.Errorf("server: covered query %d references set %d outside channel %d plan", q, c, ch)
+					}
+				}
+				seen[q]++
+			}
+		}
+	}
+	for q, n := range seen {
+		if n != 1 {
+			return fmt.Errorf("server: query %d appears %d times across plans/covers", q, n)
+		}
+	}
+	for id, ch := range cy.ClientChannel {
+		if ch < 0 || ch >= channels {
+			return fmt.Errorf("server: client %d assigned to invalid channel %d", id, ch)
+		}
+	}
+	return nil
+}

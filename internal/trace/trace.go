@@ -1,0 +1,139 @@
+// Package trace records the subscription system's control-plane events —
+// plans, publishes, subscription changes, drift observations — as JSON
+// lines, so operators can audit why the daemon re-planned and replay a
+// session's decisions offline. Timestamps are injected, keeping traces
+// deterministic under test.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind labels one event type.
+type Kind string
+
+// Event kinds.
+const (
+	KindPlan        Kind = "plan"
+	KindPublish     Kind = "publish"
+	KindSubscribe   Kind = "subscribe"
+	KindUnsubscribe Kind = "unsubscribe"
+	KindDrift       Kind = "drift"
+)
+
+// Event is one control-plane record. Unused fields are omitted from the
+// JSON encoding.
+type Event struct {
+	// Seq is assigned by the recorder, monotonically.
+	Seq int64 `json:"seq"`
+	// UnixMillis is the injected wall-clock time.
+	UnixMillis int64 `json:"ts"`
+	Kind       Kind  `json:"kind"`
+
+	// Plan fields.
+	Queries       int     `json:"queries,omitempty"`
+	MergedSets    int     `json:"mergedSets,omitempty"`
+	Channels      int     `json:"channels,omitempty"`
+	EstimatedCost float64 `json:"estimatedCost,omitempty"`
+	InitialCost   float64 `json:"initialCost,omitempty"`
+
+	// Publish fields.
+	Messages     int  `json:"messages,omitempty"`
+	Tuples       int  `json:"tuples,omitempty"`
+	PayloadBytes int  `json:"payloadBytes,omitempty"`
+	Delta        bool `json:"delta,omitempty"`
+
+	// Subscription fields.
+	ClientID int    `json:"clientId,omitempty"`
+	QueryID  uint64 `json:"queryId,omitempty"`
+
+	// Drift fields.
+	Drift  float64 `json:"drift,omitempty"`
+	Replan bool    `json:"replan,omitempty"`
+}
+
+// Recorder appends events to a stream as JSON lines. It is safe for
+// concurrent use.
+type Recorder struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	now func() int64
+	seq int64
+	err error
+}
+
+// NewRecorder creates a recorder writing to w; now supplies timestamps in
+// Unix milliseconds (pass a constant function for deterministic traces).
+func NewRecorder(w io.Writer, now func() int64) *Recorder {
+	if now == nil {
+		now = func() int64 { return 0 }
+	}
+	return &Recorder{w: bufio.NewWriter(w), now: now}
+}
+
+// Record appends one event, filling Seq and UnixMillis. Errors are
+// sticky: after a write failure every further Record is a no-op and Err
+// reports the first failure.
+func (r *Recorder) Record(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	r.seq++
+	ev.Seq = r.seq
+	ev.UnixMillis = r.now()
+	data, err := json.Marshal(ev)
+	if err != nil {
+		r.err = err
+		return
+	}
+	if _, err := r.w.Write(append(data, '\n')); err != nil {
+		r.err = err
+		return
+	}
+	r.err = r.w.Flush()
+}
+
+// Err returns the first write error, if any.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Read parses a JSONL trace back into events, validating that sequence
+// numbers are strictly increasing.
+func Read(rd io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(rd)
+	last := int64(0)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("trace: record %d: %w", len(out)+1, err)
+		}
+		if ev.Seq <= last {
+			return out, fmt.Errorf("trace: sequence regressed at record %d (%d after %d)",
+				len(out)+1, ev.Seq, last)
+		}
+		last = ev.Seq
+		out = append(out, ev)
+	}
+}
+
+// Summarize aggregates a trace into per-kind counts — the quick sanity
+// view an operator wants first.
+func Summarize(events []Event) map[Kind]int {
+	out := map[Kind]int{}
+	for _, ev := range events {
+		out[ev.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRecordAndRead(t *testing.T) {
+	var buf bytes.Buffer
+	ts := int64(1000)
+	r := NewRecorder(&buf, func() int64 { ts += 5; return ts })
+	r.Record(Event{Kind: KindPlan, Queries: 4, MergedSets: 2, EstimatedCost: 100})
+	r.Record(Event{Kind: KindPublish, Messages: 2, Tuples: 50, PayloadBytes: 1300})
+	r.Record(Event{Kind: KindDrift, Drift: 0.12})
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("read %d events, want 3", len(events))
+	}
+	if events[0].Seq != 1 || events[2].Seq != 3 {
+		t.Fatalf("sequence numbers wrong: %+v", events)
+	}
+	if events[0].UnixMillis != 1005 || events[1].UnixMillis != 1010 {
+		t.Fatalf("timestamps wrong: %d, %d", events[0].UnixMillis, events[1].UnixMillis)
+	}
+	if events[1].Tuples != 50 {
+		t.Fatalf("publish payload lost: %+v", events[1])
+	}
+	sum := Summarize(events)
+	if sum[KindPlan] != 1 || sum[KindPublish] != 1 || sum[KindDrift] != 1 {
+		t.Fatalf("summary = %v", sum)
+	}
+}
+
+func TestReadRejectsRegressedSeq(t *testing.T) {
+	in := `{"seq":1,"ts":0,"kind":"plan"}
+{"seq":1,"ts":0,"kind":"publish"}`
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("regressed sequence should be rejected")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage should be rejected")
+	}
+}
+
+// failWriter fails after n bytes.
+type failWriter struct{ left int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errors.New("disk full")
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	if n < len(p) {
+		return n, errors.New("disk full")
+	}
+	return n, nil
+}
+
+func TestRecorderStickyError(t *testing.T) {
+	r := NewRecorder(&failWriter{left: 10}, nil)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: KindPlan})
+	}
+	if r.Err() == nil {
+		t.Fatal("write failure should surface via Err")
+	}
+}
+
+func TestNilNowDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf, nil)
+	r.Record(Event{Kind: KindSubscribe, ClientID: 3, QueryID: 9})
+	events, err := Read(&buf)
+	if err != nil || len(events) != 1 {
+		t.Fatalf("events=%v err=%v", events, err)
+	}
+	if events[0].ClientID != 3 || events[0].QueryID != 9 {
+		t.Fatalf("subscription fields lost: %+v", events[0])
+	}
+}

@@ -1,0 +1,28 @@
+package wire_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"qsub/internal/geom"
+	"qsub/internal/query"
+	"qsub/internal/wire"
+)
+
+// Example frames a subscription onto a stream and reads it back — the
+// client→daemon half of the protocol.
+func Example() {
+	var stream bytes.Buffer
+
+	payload, _ := wire.MarshalSubscribe(wire.Subscribe{
+		Query: query.Range(7, geom.R(100, 100, 300, 300)),
+	})
+	wire.WriteFrame(&stream, wire.TypeSubscribe, payload)
+
+	frameType, data, _ := wire.ReadFrame(&stream)
+	sub, _ := wire.UnmarshalSubscribe(data)
+	fmt.Printf("frame type %d: subscribe query %d over %v\n",
+		frameType, sub.Query.ID, sub.Query.Region)
+	// Output:
+	// frame type 2: subscribe query 7 over [100,100 - 300,300]
+}

@@ -1,0 +1,445 @@
+// Package wire defines the binary protocol spoken between the qsubd
+// subscription daemon and its TCP clients. It turns the in-process
+// simulation into a deployable system: clients subscribe queries over a
+// socket, learn their multicast channel assignment, and receive merged
+// answer messages with extraction headers — the same §3.1 structures the
+// simulator uses, serialized with a simple length-prefixed framing.
+//
+// Frame layout:
+//
+//	uint32  payload length (big endian, excluding the 5-byte prefix)
+//	uint8   frame type
+//	[]byte  payload (type-specific)
+//
+// All integers are big endian; strings and byte slices are uint32-length
+// prefixed. Floats are IEEE 754 bits.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"qsub/internal/geom"
+	"qsub/internal/multicast"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+)
+
+// Frame types.
+const (
+	// TypeHello introduces a client (client → server).
+	TypeHello uint8 = iota + 1
+	// TypeSubscribe registers a query (client → server).
+	TypeSubscribe
+	// TypeUnsubscribe removes a query (client → server).
+	TypeUnsubscribe
+	// TypeReady asks the server to include the client in the next
+	// planning cycle (client → server).
+	TypeReady
+	// TypeAssigned tells the client its multicast channel (server →
+	// client).
+	TypeAssigned
+	// TypeAnswer carries one merged answer message (server → client).
+	TypeAnswer
+	// TypeError reports a failure (server → client).
+	TypeError
+	// TypeBye ends the session (either direction).
+	TypeBye
+)
+
+// MaxFrameSize bounds a frame payload; larger frames are rejected to
+// protect against corrupt streams.
+const MaxFrameSize = 64 << 20
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// Hello introduces a client to the daemon.
+type Hello struct {
+	ClientID int
+}
+
+// Subscribe registers a geographic range query.
+type Subscribe struct {
+	Query query.Query
+}
+
+// Unsubscribe removes a query by id.
+type Unsubscribe struct {
+	ID query.ID
+}
+
+// Assigned tells a client which channel it listens on and the estimated
+// cycle cost.
+type Assigned struct {
+	Channel       int
+	EstimatedCost float64
+	InitialCost   float64
+}
+
+// Error reports a server-side failure.
+type Error struct {
+	Msg string
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, frameType uint8, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = frameType
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame from r.
+func ReadFrame(r io.Reader) (frameType uint8, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrameSize {
+		return 0, nil, ErrFrameTooLarge
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// --- primitive encoders ---------------------------------------------------
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) f64(v float64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+func (e *encoder) bytes(v []byte) {
+	e.u32(uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+func (e *encoder) str(v string) { e.bytes([]byte(v)) }
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = errors.New("wire: truncated payload")
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || len(d.buf) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || len(d.buf) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || len(d.buf) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) bytes() []byte {
+	n := d.u32()
+	if d.err != nil || uint32(len(d.buf)) < n {
+		d.fail()
+		return nil
+	}
+	v := append([]byte(nil), d.buf[:n]...)
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) str() string { return string(d.bytes()) }
+
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes in payload", len(d.buf))
+	}
+	return nil
+}
+
+// --- region encoding --------------------------------------------------------
+
+// Region kind tags.
+const (
+	regionRect uint8 = iota + 1
+	regionPolygon
+	regionUnion
+)
+
+func encodeRegion(e *encoder, r geom.Region) error {
+	switch t := r.(type) {
+	case geom.Rect:
+		e.u8(regionRect)
+		e.f64(t.MinX)
+		e.f64(t.MinY)
+		e.f64(t.MaxX)
+		e.f64(t.MaxY)
+	case geom.Polygon:
+		e.u8(regionPolygon)
+		e.u32(uint32(len(t)))
+		for _, p := range t {
+			e.f64(p.X)
+			e.f64(p.Y)
+		}
+	case geom.Union:
+		e.u8(regionUnion)
+		e.u32(uint32(len(t)))
+		for _, r := range t {
+			e.f64(r.MinX)
+			e.f64(r.MinY)
+			e.f64(r.MaxX)
+			e.f64(r.MaxY)
+		}
+	default:
+		return fmt.Errorf("wire: unsupported region type %T", r)
+	}
+	return nil
+}
+
+func decodeRegion(d *decoder) geom.Region {
+	switch kind := d.u8(); kind {
+	case regionRect:
+		return geom.R(d.f64(), d.f64(), d.f64(), d.f64())
+	case regionPolygon:
+		n := d.u32()
+		if uint64(len(d.buf)) < uint64(n)*16 {
+			d.fail()
+			return nil
+		}
+		pg := make(geom.Polygon, n)
+		for i := range pg {
+			pg[i] = geom.Pt(d.f64(), d.f64())
+		}
+		return pg
+	case regionUnion:
+		n := d.u32()
+		if uint64(len(d.buf)) < uint64(n)*32 {
+			d.fail()
+			return nil
+		}
+		u := make(geom.Union, n)
+		for i := range u {
+			u[i] = geom.R(d.f64(), d.f64(), d.f64(), d.f64())
+		}
+		return u
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("wire: unknown region kind %d", kind)
+		}
+		return nil
+	}
+}
+
+// --- frame payload marshaling -------------------------------------------
+
+// MarshalHello encodes a Hello payload.
+func MarshalHello(h Hello) []byte {
+	var e encoder
+	e.u64(uint64(int64(h.ClientID)))
+	return e.buf
+}
+
+// UnmarshalHello decodes a Hello payload.
+func UnmarshalHello(b []byte) (Hello, error) {
+	d := decoder{buf: b}
+	h := Hello{ClientID: int(int64(d.u64()))}
+	return h, d.done()
+}
+
+// MarshalSubscribe encodes a Subscribe payload.
+func MarshalSubscribe(s Subscribe) ([]byte, error) {
+	var e encoder
+	e.u64(uint64(s.Query.ID))
+	if err := encodeRegion(&e, s.Query.Region); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+// UnmarshalSubscribe decodes a Subscribe payload.
+func UnmarshalSubscribe(b []byte) (Subscribe, error) {
+	d := decoder{buf: b}
+	s := Subscribe{Query: query.Query{ID: query.ID(d.u64()), Region: decodeRegion(&d)}}
+	return s, d.done()
+}
+
+// MarshalUnsubscribe encodes an Unsubscribe payload.
+func MarshalUnsubscribe(u Unsubscribe) []byte {
+	var e encoder
+	e.u64(uint64(u.ID))
+	return e.buf
+}
+
+// UnmarshalUnsubscribe decodes an Unsubscribe payload.
+func UnmarshalUnsubscribe(b []byte) (Unsubscribe, error) {
+	d := decoder{buf: b}
+	u := Unsubscribe{ID: query.ID(d.u64())}
+	return u, d.done()
+}
+
+// MarshalAssigned encodes an Assigned payload.
+func MarshalAssigned(a Assigned) []byte {
+	var e encoder
+	e.u32(uint32(a.Channel))
+	e.f64(a.EstimatedCost)
+	e.f64(a.InitialCost)
+	return e.buf
+}
+
+// UnmarshalAssigned decodes an Assigned payload.
+func UnmarshalAssigned(b []byte) (Assigned, error) {
+	d := decoder{buf: b}
+	a := Assigned{Channel: int(d.u32()), EstimatedCost: d.f64(), InitialCost: d.f64()}
+	return a, d.done()
+}
+
+// MarshalError encodes an Error payload.
+func MarshalError(e2 Error) []byte {
+	var e encoder
+	e.str(e2.Msg)
+	return e.buf
+}
+
+// UnmarshalError decodes an Error payload.
+func UnmarshalError(b []byte) (Error, error) {
+	d := decoder{buf: b}
+	out := Error{Msg: d.str()}
+	return out, d.done()
+}
+
+// MarshalMessage encodes a multicast answer message.
+func MarshalMessage(m multicast.Message) []byte {
+	var e encoder
+	e.u32(uint32(m.Channel))
+	e.u64(m.Seq)
+	if m.Delta {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.u32(uint32(len(m.Tuples)))
+	for _, t := range m.Tuples {
+		e.u64(t.ID)
+		e.f64(t.Pos.X)
+		e.f64(t.Pos.Y)
+		e.bytes(t.Payload)
+	}
+	e.u32(uint32(len(m.Header)))
+	for _, h := range m.Header {
+		e.u64(uint64(int64(h.ClientID)))
+		e.u32(uint32(len(h.QueryIDs)))
+		for _, id := range h.QueryIDs {
+			e.u64(uint64(id))
+		}
+	}
+	e.u32(uint32(len(m.Removed)))
+	for _, id := range m.Removed {
+		e.u64(id)
+	}
+	return e.buf
+}
+
+// UnmarshalMessage decodes a multicast answer message.
+func UnmarshalMessage(b []byte) (multicast.Message, error) {
+	d := decoder{buf: b}
+	var m multicast.Message
+	m.Channel = int(d.u32())
+	m.Seq = d.u64()
+	switch flag := d.u8(); flag {
+	case 0:
+	case 1:
+		m.Delta = true
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("wire: invalid delta flag %d", flag)
+		}
+	}
+	nTuples := d.u32()
+	if d.err == nil && uint64(len(d.buf)) < uint64(nTuples)*28 {
+		d.fail()
+	}
+	if d.err == nil {
+		m.Tuples = make([]relation.Tuple, nTuples)
+		for i := range m.Tuples {
+			m.Tuples[i] = relation.Tuple{
+				ID:      d.u64(),
+				Pos:     geom.Pt(d.f64(), d.f64()),
+				Payload: d.bytes(),
+			}
+		}
+	}
+	nHeader := d.u32()
+	if d.err == nil && uint64(len(d.buf)) < uint64(nHeader)*12 {
+		d.fail()
+	}
+	if d.err == nil {
+		m.Header = make([]multicast.HeaderEntry, nHeader)
+		for i := range m.Header {
+			m.Header[i].ClientID = int(int64(d.u64()))
+			nIDs := d.u32()
+			if uint64(len(d.buf)) < uint64(nIDs)*8 {
+				d.fail()
+				break
+			}
+			m.Header[i].QueryIDs = make([]query.ID, nIDs)
+			for j := range m.Header[i].QueryIDs {
+				m.Header[i].QueryIDs[j] = query.ID(d.u64())
+			}
+		}
+	}
+	nRemoved := d.u32()
+	if d.err == nil && uint64(len(d.buf)) < uint64(nRemoved)*8 {
+		d.fail()
+	}
+	if d.err == nil && nRemoved > 0 {
+		m.Removed = make([]uint64, nRemoved)
+		for i := range m.Removed {
+			m.Removed[i] = d.u64()
+		}
+	}
+	return m, d.done()
+}

@@ -1,0 +1,374 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"qsub/internal/geom"
+	"qsub/internal/multicast"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello world")
+	if err := WriteFrame(&buf, TypeSubscribe, payload); err != nil {
+		t.Fatal(err)
+	}
+	ft, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != TypeSubscribe || !bytes.Equal(got, payload) {
+		t.Fatalf("frame round trip: type %d payload %q", ft, got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeReady, nil); err != nil {
+		t.Fatal(err)
+	}
+	ft, payload, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != TypeReady || len(payload) != 0 {
+		t.Fatalf("empty frame: type %d, %d bytes", ft, len(payload))
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	// A forged header advertising a huge payload must be rejected
+	// before allocation.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, TypeAnswer})
+	if _, _, err := ReadFrame(&buf); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, TypeHello, []byte("abcdef"))
+	short := buf.Bytes()[:buf.Len()-3]
+	if _, _, err := ReadFrame(bytes.NewReader(short)); err == nil {
+		t.Fatal("truncated frame should fail")
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream should return EOF, got %v", err)
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		WriteFrame(&buf, TypeAnswer, []byte{byte(i)})
+	}
+	for i := 0; i < 5; i++ {
+		_, payload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payload[0] != byte(i) {
+			t.Fatalf("frame %d out of order", i)
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	for _, id := range []int{0, 1, 42, -7} {
+		got, err := UnmarshalHello(MarshalHello(Hello{ClientID: id}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ClientID != id {
+			t.Fatalf("ClientID = %d, want %d", got.ClientID, id)
+		}
+	}
+}
+
+func TestSubscribeRoundTripRect(t *testing.T) {
+	q := query.Range(7, geom.R(1.5, -2.25, 100, 200))
+	b, err := MarshalSubscribe(Subscribe{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSubscribe(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Query.ID != 7 || got.Query.Region.(geom.Rect) != q.Region.(geom.Rect) {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestSubscribeRoundTripPolygon(t *testing.T) {
+	pg := geom.ConvexHull([]geom.Point{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 2, Y: 3}})
+	b, err := MarshalSubscribe(Subscribe{Query: query.Query{ID: 9, Region: pg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSubscribe(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Query.Region, pg) {
+		t.Fatalf("polygon round trip = %v, want %v", got.Query.Region, pg)
+	}
+}
+
+func TestSubscribeRoundTripUnion(t *testing.T) {
+	u := geom.Union{geom.R(0, 0, 1, 1), geom.R(5, 5, 6, 6)}
+	b, err := MarshalSubscribe(Subscribe{Query: query.Query{ID: 3, Region: u}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSubscribe(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Query.Region, u) {
+		t.Fatalf("union round trip = %v, want %v", got.Query.Region, u)
+	}
+}
+
+func TestSubscribeRejectsUnknownRegion(t *testing.T) {
+	type weird struct{ geom.Rect }
+	_, err := MarshalSubscribe(Subscribe{Query: query.Query{ID: 1, Region: weird{}}})
+	if err == nil {
+		t.Fatal("unknown region type should be rejected")
+	}
+}
+
+func TestUnsubscribeRoundTrip(t *testing.T) {
+	got, err := UnmarshalUnsubscribe(MarshalUnsubscribe(Unsubscribe{ID: 12345}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 12345 {
+		t.Fatalf("ID = %d", got.ID)
+	}
+}
+
+func TestAssignedRoundTrip(t *testing.T) {
+	a := Assigned{Channel: 2, EstimatedCost: 123.5, InitialCost: 456.75}
+	got, err := UnmarshalAssigned(MarshalAssigned(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("round trip = %+v, want %+v", got, a)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	e := Error{Msg: "no subscriptions to plan"}
+	got, err := UnmarshalError(MarshalError(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("round trip = %+v", got)
+	}
+	long := Error{Msg: strings.Repeat("x", 10000)}
+	got, err = UnmarshalError(MarshalError(long))
+	if err != nil || got.Msg != long.Msg {
+		t.Fatal("long error message should round trip")
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := multicast.Message{
+		Channel: 3,
+		Seq:     99,
+		Delta:   true,
+		Tuples: []relation.Tuple{
+			{ID: 1, Pos: geom.Pt(1.5, 2.5), Payload: []byte("alpha")},
+			{ID: 2, Pos: geom.Pt(-3, 4), Payload: nil},
+		},
+		Header: []multicast.HeaderEntry{
+			{ClientID: 7, QueryIDs: []query.ID{1, 2, 3}},
+			{ClientID: 8, QueryIDs: []query.ID{4}},
+		},
+	}
+	got, err := UnmarshalMessage(MarshalMessage(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Channel != m.Channel || got.Seq != m.Seq || got.Delta != m.Delta {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if len(got.Tuples) != 2 || got.Tuples[0].ID != 1 || string(got.Tuples[0].Payload) != "alpha" {
+		t.Fatalf("tuples mismatch: %+v", got.Tuples)
+	}
+	if got.Tuples[1].Pos != geom.Pt(-3, 4) {
+		t.Fatalf("tuple position mismatch: %v", got.Tuples[1].Pos)
+	}
+	if len(got.Header) != 2 || got.Header[0].ClientID != 7 || len(got.Header[0].QueryIDs) != 3 {
+		t.Fatalf("header mismatch: %+v", got.Header)
+	}
+}
+
+func TestMessageEmptyRoundTrip(t *testing.T) {
+	got, err := UnmarshalMessage(MarshalMessage(multicast.Message{Channel: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tuples) != 0 || len(got.Header) != 0 {
+		t.Fatalf("empty message round trip = %+v", got)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	garbage := [][]byte{
+		nil,
+		{1},
+		{0, 0, 0},
+		bytes.Repeat([]byte{0xFF}, 16),
+	}
+	for _, g := range garbage {
+		if _, err := UnmarshalSubscribe(g); err == nil {
+			t.Fatalf("UnmarshalSubscribe(%v) should fail", g)
+		}
+		if _, err := UnmarshalAssigned(g); err == nil && len(g) != 20 {
+			t.Fatalf("UnmarshalAssigned(%v) should fail", g)
+		}
+	}
+	// A message advertising more tuples than bytes must fail cleanly,
+	// not panic or over-allocate.
+	var e encoder
+	e.u32(0)       // channel
+	e.u64(1)       // seq
+	e.u8(0)        // delta
+	e.u32(1 << 30) // absurd tuple count
+	if _, err := UnmarshalMessage(e.buf); err == nil {
+		t.Fatal("absurd tuple count should fail")
+	}
+}
+
+func TestUnmarshalRejectsTrailingBytes(t *testing.T) {
+	b := MarshalUnsubscribe(Unsubscribe{ID: 1})
+	b = append(b, 0xAA)
+	if _, err := UnmarshalUnsubscribe(b); err == nil {
+		t.Fatal("trailing bytes should be rejected")
+	}
+}
+
+func TestQuickSubscribeRoundTrip(t *testing.T) {
+	f := func(id uint64, x1, y1, x2, y2 float64) bool {
+		if anyNaN(x1, y1, x2, y2) {
+			return true
+		}
+		q := query.Range(query.ID(id), geom.RectFromPoints(geom.Pt(x1, y1), geom.Pt(x2, y2)))
+		b, err := MarshalSubscribe(Subscribe{Query: q})
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalSubscribe(b)
+		if err != nil {
+			return false
+		}
+		return got.Query.ID == q.ID && got.Query.Region.(geom.Rect) == q.Region.(geom.Rect)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMessageRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		m := multicast.Message{
+			Channel: rng.Intn(8),
+			Seq:     rng.Uint64(),
+			Delta:   rng.Intn(2) == 0,
+		}
+		for i := 0; i < rng.Intn(5); i++ {
+			payload := make([]byte, rng.Intn(32))
+			rng.Read(payload)
+			m.Tuples = append(m.Tuples, relation.Tuple{
+				ID:      rng.Uint64(),
+				Pos:     geom.Pt(rng.NormFloat64()*100, rng.NormFloat64()*100),
+				Payload: payload,
+			})
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			h := multicast.HeaderEntry{ClientID: rng.Intn(100)}
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				h.QueryIDs = append(h.QueryIDs, query.ID(rng.Uint64()))
+			}
+			m.Header = append(m.Header, h)
+		}
+		got, err := UnmarshalMessage(MarshalMessage(m))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !messageEqual(m, got) {
+			t.Fatalf("trial %d: round trip mismatch\n%+v\n%+v", trial, m, got)
+		}
+	}
+}
+
+func messageEqual(a, b multicast.Message) bool {
+	if a.Channel != b.Channel || a.Seq != b.Seq || a.Delta != b.Delta {
+		return false
+	}
+	if len(a.Tuples) != len(b.Tuples) || len(a.Header) != len(b.Header) {
+		return false
+	}
+	for i := range a.Tuples {
+		if a.Tuples[i].ID != b.Tuples[i].ID || a.Tuples[i].Pos != b.Tuples[i].Pos {
+			return false
+		}
+		if !bytes.Equal(a.Tuples[i].Payload, b.Tuples[i].Payload) {
+			return false
+		}
+	}
+	for i := range a.Header {
+		if a.Header[i].ClientID != b.Header[i].ClientID {
+			return false
+		}
+		if !reflect.DeepEqual(a.Header[i].QueryIDs, b.Header[i].QueryIDs) {
+			return false
+		}
+	}
+	return true
+}
+
+func anyNaN(vs ...float64) bool {
+	for _, v := range vs {
+		if v != v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMessageRemovedRoundTrip(t *testing.T) {
+	m := multicast.Message{
+		Channel: 1,
+		Seq:     5,
+		Delta:   true,
+		Removed: []uint64{42, 99, 7},
+	}
+	got, err := UnmarshalMessage(MarshalMessage(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Removed, m.Removed) {
+		t.Fatalf("Removed round trip = %v, want %v", got.Removed, m.Removed)
+	}
+	// And the absurd-count guard holds for removals too.
+	data := MarshalMessage(multicast.Message{})
+	data[len(data)-4] = 0xFF // inflate the removed count
+	if _, err := UnmarshalMessage(data); err == nil {
+		t.Fatal("inflated removed count should fail")
+	}
+}
