@@ -2,9 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments fuzz clean
+.PHONY: all build test race bench bench-save check experiments fuzz clean
 
 all: build test
+
+# The full pre-merge gate: build, vet and the race-enabled test suite
+# (the parallel solvers make -race load-bearing, not optional).
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...
@@ -18,6 +25,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Runs the solver-engine benchmarks and records them as JSON for
+# committing alongside the code (see DESIGN.md "Solver engine").
+bench-save:
+	$(GO) test -run - \
+		-bench 'BenchmarkPairMerge$$|BenchmarkPairMergeHeap|BenchmarkPairMergeTable|BenchmarkPairMergeNaive|BenchmarkDirectedSearchParallel|BenchmarkClusteringParallel' \
+		-benchmem -benchtime 2x . \
+		| $(GO) run ./cmd/benchjson -o BENCH_solvers.json
 
 # Regenerates every table and figure (see EXPERIMENTS.md).
 experiments:

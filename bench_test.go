@@ -196,6 +196,65 @@ func BenchmarkPairMergeNaive(b *testing.B) {
 	}
 }
 
+// BenchmarkPairMergeHeap measures the heap-driven engine (the default)
+// at the sizes the solver-engine rewrite targets. Identical to running
+// PairMerge{}; the explicit flag names the configuration under test.
+func BenchmarkPairMergeHeap(b *testing.B) {
+	for _, n := range []int{100, 200, 500} {
+		inst := benchInstance(n, int64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.PairMerge{HeapProfit: true}.Solve(inst)
+			}
+		})
+	}
+}
+
+// BenchmarkPairMergeTable is the pre-heap ablation: Profit Table with a
+// full O(n²) scan per iteration (the seed engine).
+func BenchmarkPairMergeTable(b *testing.B) {
+	for _, n := range []int{100, 200} {
+		inst := benchInstance(n, int64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.PairMerge{TableScan: true}.Solve(inst)
+			}
+		})
+	}
+}
+
+// BenchmarkDirectedSearchParallel measures the restart search across
+// worker-pool sizes. The restarts are embarrassingly parallel, so on a
+// multi-core host time/op should fall near-linearly from workers=1 to
+// the core count; the plan is identical at any setting.
+func BenchmarkDirectedSearchParallel(b *testing.B) {
+	for _, n := range []int{100, 200, 500} {
+		inst := benchInstance(n, int64(n))
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					core.DirectedSearch{T: 4, Seed: 1, Parallelism: workers}.Solve(inst)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkClusteringParallel measures the §6.3 divide-and-conquer with
+// the eligibility probe and per-component solves on the worker pool.
+func BenchmarkClusteringParallel(b *testing.B) {
+	for _, n := range []int{100, 200, 500} {
+		inst := benchInstance(n, int64(n))
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					core.Clustering{ExactThreshold: 10, Parallelism: workers}.Solve(inst)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkDirectedSearch measures the restart local search (§6.2.2).
 func BenchmarkDirectedSearch(b *testing.B) {
 	for _, n := range []int{10, 25, 50} {

@@ -50,6 +50,7 @@ func main() {
 		channels = flag.Int("channels", 3, "channels for the channel allocation experiment")
 		qpc      = flag.Int("qpc", 2, "queries per client for the channel allocation experiment")
 		seed     = flag.Int64("seed", 1, "base workload seed")
+		parallel = flag.Int("parallel", 0, "worker-pool size for the parallel solvers (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.StringVar(&csvDir, "csv", "", "also write raw series as CSV files into this directory")
 	flag.Parse()
@@ -69,7 +70,7 @@ func main() {
 	case "estimators":
 		runEstimators(*trials, *seed)
 	case "algos":
-		runAlgos(*trials, *seed)
+		runAlgos(*trials, *seed, *parallel)
 	case "scaling":
 		runScaling()
 	case "replan":
@@ -87,7 +88,7 @@ func main() {
 		fmt.Println()
 		runEstimators(*trials, *seed)
 		fmt.Println()
-		runAlgos(*trials, *seed)
+		runAlgos(*trials, *seed, *parallel)
 		fmt.Println()
 		runScaling()
 		fmt.Println()
@@ -162,12 +163,13 @@ func runEstimators(trials int, seed int64) {
 	writeCSV("estimators", func(f *os.File) error { return experiment.WriteEstimatorCSV(f, rows) })
 }
 
-func runAlgos(trials int, seed int64) {
+func runAlgos(trials int, seed int64, parallel int) {
 	cfg := experiment.DefaultAlgoConfig()
 	if trials > 0 {
 		cfg.Trials = trials
 	}
 	cfg.Workload.Seed = seed
+	cfg.Parallelism = parallel
 	fmt.Printf("Algorithm comparison: heuristics vs the Partition optimum (n=%d, trials=%d)\n",
 		cfg.Queries, cfg.Trials)
 	rows, err := experiment.RunAlgoComparison(cfg)

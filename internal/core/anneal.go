@@ -30,11 +30,15 @@ type Anneal struct {
 func (Anneal) Name() string { return "anneal" }
 
 // Solve runs the annealing walk starting from the PairMerge solution and
-// returns the best plan visited.
+// returns the best plan visited. The walk re-costs a whole candidate plan
+// per step while only one or two sets actually changed, so the instance
+// is wrapped in the shared bitset-keyed size memo: unchanged sets hit the
+// cache and the step cost collapses to the mutated sets.
 func (a Anneal) Solve(inst *Instance) Plan {
 	if inst.N == 0 {
 		return Plan{}
 	}
+	inst = memoized(inst)
 	steps := a.Steps
 	if steps == 0 {
 		steps = 2000

@@ -127,6 +127,24 @@ func (inst *Instance) Cost(p Plan) float64 {
 	return cost.PlanCost(inst.Model, inst.Sizer, p)
 }
 
+// memoized returns a view of the instance whose sizer caches merged
+// sizes behind a concurrency-safe bitset-keyed cost.Memo, so repeated
+// probes of the same union — across restarts, components or worker
+// goroutines — hit the inner sizer once. Memo results are exact, so
+// plans are unchanged. Instances whose sizer is already a Memo are
+// returned as-is.
+func memoized(inst *Instance) *Instance {
+	if _, ok := inst.Sizer.(*cost.Memo); ok {
+		return inst
+	}
+	return &Instance{
+		N:       inst.N,
+		Model:   inst.Model,
+		Sizer:   cost.NewMemo(inst.Sizer, inst.N),
+		Overlap: inst.Overlap,
+	}
+}
+
 // InitialCost returns the cost of answering every query separately
 // (Cost_initial in §9.2).
 func (inst *Instance) InitialCost() float64 {

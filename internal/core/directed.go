@@ -2,6 +2,8 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"qsub/internal/cost"
 )
@@ -16,16 +18,38 @@ import (
 // The first restart always starts from the all-singletons state so the
 // result is never worse than PairMerge on the same instance modulo
 // tie-breaking; the remaining T−1 restarts are random.
+//
+// Restarts are independent, so they run on a bounded worker pool. Each
+// restart derives its own RNG from (Seed, restart index) and the winner
+// is picked by (cost, restart index), so a fixed Seed yields the same
+// plan at any Parallelism — including 1, the sequential path. All
+// restarts share one concurrency-safe merged-size memo (cost.Memo), so a
+// union probed by one restart is free for every other.
 type DirectedSearch struct {
 	// T is the number of restarts; zero means the default of 8.
 	T int
 	// Seed seeds the random initial states; runs are deterministic for
-	// a fixed seed.
+	// a fixed seed regardless of Parallelism.
 	Seed int64
+	// Parallelism bounds the restart worker pool. Zero means
+	// runtime.GOMAXPROCS(0); 1 runs the restarts sequentially.
+	Parallelism int
 }
 
 // Name returns "directed-search".
 func (DirectedSearch) Name() string { return "directed-search" }
+
+// restartRNG derives an independent deterministic RNG for one restart.
+// splitmix64 over (seed, run) decorrelates the streams so neighboring
+// restarts do not explore correlated partitions.
+func restartRNG(seed int64, run int) *rand.Rand {
+	z := uint64(seed) + uint64(run+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+}
 
 // Solve runs T greedy passes from varied starting partitions.
 func (ds DirectedSearch) Solve(inst *Instance) Plan {
@@ -36,23 +60,59 @@ func (ds DirectedSearch) Solve(inst *Instance) Plan {
 	if inst.N == 0 {
 		return Plan{}
 	}
-	rng := rand.New(rand.NewSource(ds.Seed))
-	var best Plan
-	bestCost := 0.0
-	for run := 0; run < t; run++ {
+	shared := memoized(inst)
+	plans := make([]Plan, t)
+	costs := make([]float64, t)
+	runOne := func(run int) {
 		var start Plan
 		if run == 0 {
 			start = Singletons(inst.N)
 		} else {
-			start = randomPartition(inst.N, rng)
+			start = randomPartition(inst.N, restartRNG(ds.Seed, run))
 		}
-		plan := hillClimb(inst, start)
-		c := inst.Cost(plan)
-		if best == nil || c < bestCost {
-			best, bestCost = plan, c
+		plans[run] = hillClimb(shared, start)
+		costs[run] = shared.Cost(plans[run])
+	}
+
+	workers := ds.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > t {
+		workers = t
+	}
+	if workers <= 1 {
+		for run := 0; run < t; run++ {
+			runOne(run)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for run := range next {
+					runOne(run)
+				}
+			}()
+		}
+		for run := 0; run < t; run++ {
+			next <- run
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Deterministic winner: lowest cost, earliest restart on ties —
+	// independent of which worker finished first.
+	best := 0
+	for run := 1; run < t; run++ {
+		if costs[run] < costs[best] {
+			best = run
 		}
 	}
-	return best.Normalize()
+	return plans[best].Normalize()
 }
 
 // randomPartition assigns each query independently to one of a random
@@ -74,13 +134,17 @@ func randomPartition(n int, rng *rand.Rand) Plan {
 }
 
 // hillClimb greedily applies the best merge-or-extract move until no move
-// reduces the cost.
+// reduces the cost. Candidate unions and remainders are staged in reused
+// scratch buffers; sizers must not retain the probe slice (the cost.Sizer
+// contract), so no per-probe allocation is needed.
 func hillClimb(inst *Instance, plan Plan) Plan {
 	plan = plan.Clone()
 	costs := make([]float64, len(plan))
 	for i, set := range plan {
 		costs[i] = cost.SetCost(inst.Model, inst.Sizer, set)
 	}
+	var scratch []int
+	single := make([]int, 1)
 	for {
 		type move struct {
 			gain    float64
@@ -94,8 +158,8 @@ func hillClimb(inst *Instance, plan Plan) Plan {
 		// Merge moves: combine sets i and j.
 		for i := 0; i < len(plan); i++ {
 			for j := i + 1; j < len(plan); j++ {
-				union := append(append([]int{}, plan[i]...), plan[j]...)
-				gain := costs[i] + costs[j] - cost.SetCost(inst.Model, inst.Sizer, union)
+				scratch = append(append(scratch[:0], plan[i]...), plan[j]...)
+				gain := costs[i] + costs[j] - cost.SetCost(inst.Model, inst.Sizer, scratch)
 				if gain > best.gain {
 					best = move{gain: gain, mergeI: i, mergeJ: j, extract: -1}
 				}
@@ -107,11 +171,10 @@ func hillClimb(inst *Instance, plan Plan) Plan {
 				continue
 			}
 			for k := range set {
-				rest := make([]int, 0, len(set)-1)
-				rest = append(rest, set[:k]...)
-				rest = append(rest, set[k+1:]...)
-				newCost := cost.SetCost(inst.Model, inst.Sizer, rest) +
-					cost.SetCost(inst.Model, inst.Sizer, []int{set[k]})
+				scratch = append(append(scratch[:0], set[:k]...), set[k+1:]...)
+				single[0] = set[k]
+				newCost := cost.SetCost(inst.Model, inst.Sizer, scratch) +
+					cost.SetCost(inst.Model, inst.Sizer, single)
 				gain := costs[i] - newCost
 				if gain > best.gain {
 					best = move{gain: gain, mergeI: -1, extract: i, query: k}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"qsub/internal/cost"
 	"qsub/internal/geom"
 	"qsub/internal/query"
@@ -11,20 +13,17 @@ import (
 // size function delegates to the estimator, the merge function to the
 // chosen merge procedure (Fig 5), and Overlap is estimated for rectangle
 // pairs so the refined clustering bound of §6.3 is available.
+//
+// The merged-size path is the hot loop of every solver, so the member
+// slice handed to the merge procedure comes from a pool instead of a
+// fresh allocation per probe; merge procedures do not retain their
+// argument. The pool also keeps the instance safe for the concurrent
+// solvers (parallel DirectedSearch restarts and Clustering components).
 func NewGeomInstance(model cost.Model, qs []query.Query, proc query.MergeProcedure, est relation.Estimator) *Instance {
 	return &Instance{
 		N:     len(qs),
 		Model: model,
-		Sizer: cost.Func{
-			SizeFn: func(i int) float64 { return est.SizeBytes(qs[i].Region) },
-			MergedFn: func(set []int) float64 {
-				members := make([]query.Query, len(set))
-				for i, q := range set {
-					members[i] = qs[q]
-				}
-				return est.SizeBytes(proc.Merge(members))
-			},
-		},
+		Sizer: geomSizer(qs, proc, est),
 		Overlap: func(i, j int) float64 {
 			ri, iok := qs[i].Region.(geom.Rect)
 			rj, jok := qs[j].Region.(geom.Rect)
@@ -36,6 +35,62 @@ func NewGeomInstance(model cost.Model, qs []query.Query, proc query.MergeProcedu
 				return 0
 			}
 			return est.SizeBytes(inter)
+		},
+	}
+}
+
+// geomSizer picks the fastest sound size path for the query list. When
+// the merge procedure is the bounding rectangle and every footprint is an
+// axis-aligned rectangle, merged sizes reduce to a rectangle union fed to
+// the estimator's RectSizer fast path — no Region boxing, no member
+// slice, no allocation per probe. Otherwise the general path materializes
+// the member queries from a pool and runs the full merge procedure; merge
+// procedures do not retain their argument, so the pool is sound, and both
+// paths are safe for the concurrent solvers (parallel DirectedSearch
+// restarts and Clustering components).
+func geomSizer(qs []query.Query, proc query.MergeProcedure, est relation.Estimator) cost.Sizer {
+	if _, isBR := proc.(query.BoundingRect); isBR {
+		if rs, ok := est.(relation.RectSizer); ok {
+			rects := make([]geom.Rect, len(qs))
+			allRect := true
+			for i, q := range qs {
+				r, ok := q.Region.(geom.Rect)
+				if !ok {
+					allRect = false
+					break
+				}
+				rects[i] = r
+			}
+			if allRect {
+				return cost.Func{
+					SizeFn: func(i int) float64 { return rs.SizeBytesRect(rects[i]) },
+					MergedFn: func(set []int) float64 {
+						out := geom.EmptyRect()
+						for _, q := range set {
+							out = out.Union(rects[q])
+						}
+						return rs.SizeBytesRect(out)
+					},
+				}
+			}
+		}
+	}
+	memberPool := sync.Pool{New: func() any {
+		buf := make([]query.Query, 0, 16)
+		return &buf
+	}}
+	return cost.Func{
+		SizeFn: func(i int) float64 { return est.SizeBytes(qs[i].Region) },
+		MergedFn: func(set []int) float64 {
+			bp := memberPool.Get().(*[]query.Query)
+			members := (*bp)[:0]
+			for _, q := range set {
+				members = append(members, qs[q])
+			}
+			size := est.SizeBytes(proc.Merge(members))
+			*bp = members[:0]
+			memberPool.Put(bp)
+			return size
 		},
 	}
 }

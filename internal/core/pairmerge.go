@@ -1,38 +1,231 @@
 package core
 
+import "qsub/internal/cost"
+
+// QSet is the bitset query-set representation shared across the solver
+// engine (see cost.QSet): []uint64 words with a single-word fast path for
+// instances of at most 64 queries, used for set unions, membership tests
+// and merged-size cache keys.
+type QSet = cost.QSet
+
 // PairMerge is the greedy Pair Merging algorithm of §6.2.1. It starts
 // from singleton sets and repeatedly merges the pair of sets with the
 // largest positive Δ-cost
 //
 //	Cost_old − Cost_new = K_M + K_T·(Ra + Rb − Rm) + K_U·(p·Ra + r·Rb − (p+r)·Rm)
 //
-// until no merge reduces total cost. Pair deltas are kept in a Profit
-// Table so that after merging two sets only the entries involving the new
-// set are recomputed (the other pairs are unchanged from the previous
-// iteration), per the optimization described at the end of §6.2.1.
-// NaiveRecompute disables the table for the ablation benchmark.
+// until no merge reduces total cost.
+//
+// The default engine keeps the pair deltas in an indexed max-heap with
+// lazy invalidation: popping the top yields the best live pair in
+// O(log n), entries referencing merged-away sets are discarded as they
+// surface, and a merge pushes only the new set's deltas against the
+// survivors. One iteration is O(n log n) instead of the O(n²) Profit
+// Table scan, and probe unions run through a reused scratch buffer
+// instead of allocating a fresh []int per delta.
+//
+// Two ablation engines are kept for the benchmarks: TableScan is the
+// previous implementation (Profit Table with a full scan per iteration),
+// NaiveRecompute additionally recomputes every delta on every iteration.
 type PairMerge struct {
 	// NaiveRecompute recomputes every pair delta on every iteration
 	// instead of maintaining the Profit Table (ablation).
 	NaiveRecompute bool
+	// TableScan keeps the Profit Table but selects the best pair with a
+	// full O(n²) scan per iteration (ablation; the pre-heap engine).
+	TableScan bool
+	// HeapProfit explicitly selects the heap-driven engine. The zero
+	// value already uses the heap; the flag exists so the ablation
+	// benchmarks name the configuration under test, and it wins when set
+	// alongside an ablation flag.
+	HeapProfit bool
 }
 
 // Name returns "pair-merge".
 func (PairMerge) Name() string { return "pair-merge" }
 
-// pmSet is one live set during the greedy merge along with its cached
-// merged size.
+// Solve runs the greedy pair merging loop.
+func (pm PairMerge) Solve(inst *Instance) Plan {
+	if inst.N == 0 {
+		return Plan{}
+	}
+	if (pm.NaiveRecompute || pm.TableScan) && !pm.HeapProfit {
+		return pm.solveTable(inst)
+	}
+	return pm.solveHeap(inst)
+}
+
+// pmEntry is one candidate merge in the profit heap: the Δ-cost and
+// merged size of merging set ids a and b. Entries are immutable;
+// invalidation is lazy (an entry whose endpoint has since been merged
+// away is discarded when popped).
+type pmEntry struct {
+	d    float64
+	rm   float64
+	a, b int
+}
+
+// pmLess orders the heap: larger Δ first, ties broken by smaller set ids
+// so the pop order — and therefore the plan — is deterministic.
+func pmLess(x, y pmEntry) bool {
+	if x.d != y.d {
+		return x.d > y.d
+	}
+	if x.a != y.a {
+		return x.a < y.a
+	}
+	return x.b < y.b
+}
+
+// pmHeapInit heapifies the backing slice in place.
+func pmHeapInit(h []pmEntry) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		pmSiftDown(h, i)
+	}
+}
+
+// pmHeapPush appends the entry and restores the heap invariant.
+func pmHeapPush(h *[]pmEntry, e pmEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !pmLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pmHeapPop removes and returns the top entry.
+func pmHeapPop(h *[]pmEntry) pmEntry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	pmSiftDown(s[:last], 0)
+	return top
+}
+
+func pmSiftDown(h []pmEntry, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h) && pmLess(h[l], h[best]) {
+			best = l
+		}
+		if r < len(h) && pmLess(h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// hSet is one set during the heap-driven merge: its member bitset, member
+// count and cached merged size. Sets are identified by a stable id (index
+// into the sets slice); merging two sets retires both ids and appends a
+// new one, which is what makes stale heap entries detectable.
+type hSet struct {
+	qs     QSet
+	count  int
+	merged float64
+}
+
+// solveHeap is the default engine: an indexed max-heap over pair deltas
+// with lazy invalidation.
+func (pm PairMerge) solveHeap(inst *Instance) Plan {
+	n := inst.N
+	sets := make([]hSet, n, 2*n)
+	for i := 0; i < n; i++ {
+		qs := cost.NewQSet(n)
+		qs.Add(i)
+		sets[i] = hSet{qs: qs, count: 1, merged: inst.Sizer.Size(i)}
+	}
+	alive := make([]bool, n, 2*n)
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveCount := n
+
+	// probe computes the Δ-cost and merged size of merging sets a and b.
+	// The member sets are disjoint, so the union's indices are the two
+	// index lists concatenated into the reused scratch buffer; Sizer
+	// implementations must not retain the slice (none do).
+	scratch := make([]int, 0, n)
+	probe := func(a, b int) (float64, float64) {
+		sa, sb := &sets[a], &sets[b]
+		scratch = sa.qs.AppendIndices(scratch[:0])
+		scratch = sb.qs.AppendIndices(scratch)
+		rm := inst.Sizer.MergedSize(scratch)
+		d := cost.PairDelta(inst.Model, sa.count, sa.merged, sb.count, sb.merged, rm)
+		return d, rm
+	}
+
+	// Seed the heap with every positive pair delta. Non-positive deltas
+	// can never become the best move (entries are immutable), so they are
+	// dropped here instead of occupying heap slots.
+	h := make([]pmEntry, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d, rm := probe(i, j); d > 0 {
+				h = append(h, pmEntry{d: d, rm: rm, a: i, b: j})
+			}
+		}
+	}
+	pmHeapInit(h)
+
+	for aliveCount > 1 && len(h) > 0 {
+		e := pmHeapPop(&h)
+		if !alive[e.a] || !alive[e.b] {
+			continue // lazy invalidation: a retired endpoint
+		}
+		// Merge: retire both endpoints, append the union as a new set,
+		// and push its deltas against every survivor.
+		qs := sets[e.a].qs.Clone()
+		qs.Or(sets[e.b].qs)
+		id := len(sets)
+		sets = append(sets, hSet{qs: qs, count: sets[e.a].count + sets[e.b].count, merged: e.rm})
+		alive[e.a], alive[e.b] = false, false
+		alive = append(alive, true)
+		aliveCount--
+		for other := 0; other < id; other++ {
+			if !alive[other] {
+				continue
+			}
+			if d, rm := probe(other, id); d > 0 {
+				pmHeapPush(&h, pmEntry{d: d, rm: rm, a: other, b: id})
+			}
+		}
+	}
+
+	plan := make(Plan, 0, aliveCount)
+	for id, ok := range alive {
+		if ok {
+			plan = append(plan, sets[id].qs.AppendIndices(make([]int, 0, sets[id].count)))
+		}
+	}
+	return plan.Normalize()
+}
+
+// pmSet is one live set during the table-driven merge along with its
+// cached merged size.
 type pmSet struct {
 	queries []int
 	merged  float64
 }
 
-// Solve runs the greedy pair merging loop.
-func (pm PairMerge) Solve(inst *Instance) Plan {
+// solveTable is the Profit Table ablation engine: pair deltas cached in a
+// triangular table (unless NaiveRecompute), best pair found by a full
+// scan each iteration.
+func (pm PairMerge) solveTable(inst *Instance) Plan {
 	n := inst.N
-	if n == 0 {
-		return Plan{}
-	}
 	sets := make([]*pmSet, n)
 	for i := 0; i < n; i++ {
 		sets[i] = &pmSet{queries: []int{i}, merged: inst.Sizer.Size(i)}
@@ -94,12 +287,12 @@ func (pm PairMerge) Solve(inst *Instance) Plan {
 		if !pm.NaiveRecompute {
 			for k := 0; k < len(sets); k++ {
 				// Entries touching the merged slot bestI are stale.
-				lo, hi := minInt(k, bestI), maxInt(k, bestI)
+				lo, hi := min(k, bestI), max(k, bestI)
 				profit[lo][hi].valid = false
 				// Entries touching slot bestJ now describe the
 				// moved set, so they are stale too.
 				if bestJ < len(sets) {
-					lo, hi = minInt(k, bestJ), maxInt(k, bestJ)
+					lo, hi = min(k, bestJ), max(k, bestJ)
 					profit[lo][hi].valid = false
 				}
 				// Entries that referred to the moved set at its
@@ -113,18 +306,4 @@ func (pm PairMerge) Solve(inst *Instance) Plan {
 		plan[i] = s.queries
 	}
 	return plan.Normalize()
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

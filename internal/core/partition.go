@@ -44,7 +44,9 @@ func (p Partition) Solve(inst *Instance) Plan {
 		return Plan{}
 	}
 	sizer := inst.Sizer
-	if !p.DisableMemo && inst.N <= 64 {
+	if !p.DisableMemo {
+		// The memo handles any n (multi-word bitset keys past 64), so
+		// no size gate is needed even when MaxN is raised.
 		sizer = cost.NewMemo(sizer, inst.N)
 	}
 	e := &partitionEnum{

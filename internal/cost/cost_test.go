@@ -1,7 +1,9 @@
 package cost
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -242,13 +244,148 @@ func TestMemoMatchesInner(t *testing.T) {
 	}
 }
 
-func TestMemoRejectsLargeInstances(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewMemo should panic for n > 64")
+func TestMemoHandlesLargeInstances(t *testing.T) {
+	// n > 64 falls back to the multi-word bitset key instead of
+	// panicking; caching still deduplicates order-insensitive subsets.
+	calls := 0
+	inner := Func{
+		SizeFn: func(i int) float64 { return float64(i + 1) },
+		MergedFn: func(set []int) float64 {
+			calls++
+			total := 0.0
+			for _, q := range set {
+				total += float64(q + 1)
+			}
+			return total
+		},
+	}
+	memo := NewMemo(inner, 130)
+	a := memo.MergedSize([]int{0, 70, 129})
+	b := memo.MergedSize([]int{129, 0, 70})
+	if a != b || a != 1+71+130 {
+		t.Fatalf("memo results %g, %g; want 202", a, b)
+	}
+	if calls != 1 {
+		t.Fatalf("inner MergedFn called %d times, want 1", calls)
+	}
+	// Distinct subsets get distinct entries even when they share words.
+	if memo.MergedSize([]int{0, 70}) != 72 {
+		t.Fatal("distinct subset returned wrong size")
+	}
+	if calls != 2 {
+		t.Fatalf("inner MergedFn called %d times, want 2", calls)
+	}
+}
+
+func TestMemoConcurrentSolversShareCache(t *testing.T) {
+	// The memo is the shared size cache of the parallel solver engine:
+	// hammer it from many goroutines over both key layouts and check
+	// every result against the inner function.
+	for _, n := range []int{40, 100} {
+		inner := Func{
+			SizeFn: func(i int) float64 { return float64(i) },
+			MergedFn: func(set []int) float64 {
+				total := 0.0
+				for _, q := range set {
+					total += float64(q * q)
+				}
+				return total
+			},
 		}
-	}()
-	NewMemo(Func{SizeFn: func(int) float64 { return 1 }}, 65)
+		memo := NewMemo(inner, n)
+		var wg sync.WaitGroup
+		errs := make(chan string, 8)
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				scratch := make([]int, 0, 8)
+				for it := 0; it < 500; it++ {
+					scratch = scratch[:0]
+					for q := (w + it) % n; q < n; q += 1 + it%7 {
+						scratch = append(scratch, q)
+					}
+					if len(scratch) == 0 {
+						continue
+					}
+					want := inner.MergedFn(scratch)
+					if len(scratch) == 1 {
+						want = float64(scratch[0])
+					}
+					if got := memo.MergedSize(scratch); got != want {
+						select {
+						case errs <- fmt.Sprintf("n=%d MergedSize(%v) = %g, want %g", n, scratch, got, want):
+						default:
+						}
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		if msg, ok := <-errs; ok {
+			t.Fatal(msg)
+		}
+	}
+}
+
+func TestQSetOperations(t *testing.T) {
+	for _, n := range []int{10, 64, 65, 200} {
+		s := NewQSet(n)
+		if !s.Empty() || s.Count() != 0 {
+			t.Fatalf("n=%d: new set not empty", n)
+		}
+		members := []int{0, n/2 + 1, n - 1}
+		for _, q := range members {
+			s.Add(q)
+		}
+		for _, q := range members {
+			if !s.Contains(q) {
+				t.Fatalf("n=%d: %d missing after Add", n, q)
+			}
+		}
+		if s.Contains(1) {
+			t.Fatalf("n=%d: unexpected member 1", n)
+		}
+		if got := s.Count(); got != 3 {
+			t.Fatalf("n=%d: Count = %d, want 3", n, got)
+		}
+		idx := s.AppendIndices(nil)
+		if len(idx) != 3 || idx[0] != 0 || idx[1] != n/2+1 || idx[2] != n-1 {
+			t.Fatalf("n=%d: AppendIndices = %v", n, idx)
+		}
+		other := QSetOf([]int{1, n - 1}, n)
+		u := s.Clone()
+		u.Or(other)
+		if u.Count() != 4 || !u.Contains(1) || !u.Contains(n-1) {
+			t.Fatalf("n=%d: union wrong: %v", n, u.AppendIndices(nil))
+		}
+		if !s.Clone().Equal(s) || s.Equal(other) {
+			t.Fatalf("n=%d: Equal misbehaves", n)
+		}
+		s.Remove(members[1])
+		if s.Contains(members[1]) || s.Count() != 2 {
+			t.Fatalf("n=%d: Remove failed", n)
+		}
+		s.Reset()
+		if !s.Empty() {
+			t.Fatalf("n=%d: Reset left members", n)
+		}
+	}
+}
+
+func TestQSetHashDistinguishesSubsets(t *testing.T) {
+	// Not a collision-resistance claim — just that the shard hash varies
+	// over realistic neighboring subsets instead of collapsing.
+	seen := map[uint64]bool{}
+	for n := 0; n < 64; n++ {
+		s := QSetOf([]int{n}, 200)
+		seen[s.Hash()] = true
+	}
+	if len(seen) < 60 {
+		t.Fatalf("singleton hashes collapse: %d distinct of 64", len(seen))
+	}
 }
 
 func TestQuickSingleAllocationDominance(t *testing.T) {

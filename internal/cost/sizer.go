@@ -1,5 +1,7 @@
 package cost
 
+import "sync"
+
 // Func is a Sizer built from two functions. It is the glue between the
 // abstract merging algorithms and concrete instantiations: geographic
 // queries, the set-cover gadget of §5.2, or synthetic benchmark workloads.
@@ -20,32 +22,62 @@ func (f Func) MergedSize(set []int) float64 {
 	return f.MergedFn(set)
 }
 
-// Memo caches MergedSize results per query subset. Subsets of instances
-// with at most 64 queries are keyed by bitmask; the exhaustive Partition
+// memoShards is the number of independently locked cache segments. A
+// small power of two keeps the shard pick a mask while spreading the
+// solver worker pool (GOMAXPROCS-sized) across enough locks that
+// contention is negligible.
+const memoShards = 16
+
+// Memo caches MergedSize results per query subset behind sharded
+// mutex-guarded maps, so one cache can serve every restart/component of a
+// parallel solver run concurrently. Subsets are keyed by their QSet
+// bitset words: instances with at most 64 queries use the word itself,
+// larger instances use the full multi-word key. The exhaustive Partition
 // algorithm revisits the same subsets many times while growing its search
-// tree, so memoization changes its constant factor substantially (see the
+// tree, and DirectedSearch restarts re-probe the same unions, so
+// memoization changes their constant factors substantially (see the
 // ablation benchmarks).
+//
+// The wrapped Sizer must be pure (same subset ⇒ same size) for the
+// lifetime of the Memo; create a fresh Memo per planning cycle when the
+// underlying estimator can drift.
 type Memo struct {
 	inner  Sizer
+	n      int
+	words  int       // QSet words for n queries
 	sizes  []float64 // singleton sizes, cached eagerly
-	merged map[uint64]float64
+	shards [memoShards]memoShard
 }
 
-// NewMemo wraps the Sizer with a subset cache for an instance of n
-// queries. It panics if n exceeds 64 (callers handling larger instances
-// should use the raw Sizer; only exhaustive algorithms need the memo and
-// they cannot run past n ≈ 20 anyway).
+// memoShard is one lock-striped segment of the cache. small is used when
+// the whole instance fits one bitset word; large handles arbitrary n with
+// the stringified multi-word key.
+type memoShard struct {
+	mu    sync.RWMutex
+	small map[uint64]float64
+	large map[string]float64
+}
+
+// NewMemo wraps the Sizer with a concurrency-safe subset cache for an
+// instance of n queries. Instances of any size are supported: n ≤ 64 uses
+// the single-word fast path, larger instances fall back to multi-word
+// bitset keys transparently.
 func NewMemo(inner Sizer, n int) *Memo {
-	if n > 64 {
-		panic("cost: Memo supports at most 64 queries")
-	}
 	m := &Memo{
-		inner:  inner,
-		sizes:  make([]float64, n),
-		merged: make(map[uint64]float64),
+		inner: inner,
+		n:     n,
+		words: qsetWords(n),
+		sizes: make([]float64, n),
 	}
 	for i := 0; i < n; i++ {
 		m.sizes[i] = inner.Size(i)
+	}
+	for s := range m.shards {
+		if m.words == 1 {
+			m.shards[s].small = make(map[uint64]float64)
+		} else {
+			m.shards[s].large = make(map[string]float64)
+		}
 	}
 	return m
 }
@@ -54,21 +86,66 @@ func NewMemo(inner Sizer, n int) *Memo {
 func (m *Memo) Size(i int) float64 { return m.sizes[i] }
 
 // MergedSize returns the cached merged size for the set, computing and
-// storing it on first use.
+// storing it on first use. It is safe for concurrent use; two goroutines
+// racing on the same uncached subset may both compute it, which is
+// harmless because the inner Sizer is pure. The set slice is not
+// retained, so callers may pass a reused scratch buffer.
 func (m *Memo) MergedSize(set []int) float64 {
 	if len(set) == 1 {
 		return m.sizes[set[0]]
 	}
-	var key uint64
-	for _, q := range set {
-		key |= 1 << uint(q)
-	}
-	if v, ok := m.merged[key]; ok {
+	if m.words == 1 {
+		var key uint64
+		for _, q := range set {
+			key |= 1 << uint(q)
+		}
+		sh := &m.shards[mix64(key)&(memoShards-1)]
+		sh.mu.RLock()
+		v, ok := sh.small[key]
+		sh.mu.RUnlock()
+		if ok {
+			return v
+		}
+		v = m.inner.MergedSize(set)
+		sh.mu.Lock()
+		sh.small[key] = v
+		sh.mu.Unlock()
 		return v
 	}
-	v := m.inner.MergedSize(set)
-	m.merged[key] = v
+	return m.mergedSizeLarge(set)
+}
+
+// mergedSizeLarge is the multi-word (n > 64) path: the subset's bitset
+// words become a string key so the map can hash them.
+func (m *Memo) mergedSizeLarge(set []int) float64 {
+	qs := make(QSet, m.words)
+	for _, q := range set {
+		qs.Add(q)
+	}
+	key := qsetKey(qs)
+	sh := &m.shards[qs.Hash()&(memoShards-1)]
+	sh.mu.RLock()
+	v, ok := sh.large[key]
+	sh.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = m.inner.MergedSize(set)
+	sh.mu.Lock()
+	sh.large[key] = v
+	sh.mu.Unlock()
 	return v
+}
+
+// qsetKey encodes the bitset words as a map-hashable string.
+func qsetKey(qs QSet) string {
+	buf := make([]byte, 8*len(qs))
+	for wi, w := range qs {
+		for b := 0; b < 8; b++ {
+			buf[8*wi+b] = byte(w >> uint(8*b))
+		}
+	}
+	return string(buf)
 }
 
 var (

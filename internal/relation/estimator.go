@@ -43,6 +43,24 @@ func (u Uniform) SizeBytes(region geom.Region) float64 {
 	return region.Area() * u.Density * u.BytesPerTuple
 }
 
+// SizeBytesRect is the RectSizer fast path: identical to SizeBytes for a
+// rectangle footprint, without the Region interface conversion.
+func (u Uniform) SizeBytesRect(r geom.Rect) float64 {
+	return r.Area() * u.Density * u.BytesPerTuple
+}
+
+// RectSizer is an optional fast path implemented by estimators whose
+// rectangle estimate needs no Region indirection. The solver hot loop
+// probes millions of candidate merges; calling SizeBytesRect on a plain
+// geom.Rect avoids boxing the rectangle into the Region interface (one
+// heap allocation per probe).
+//
+// Implementations must return exactly the same value as
+// SizeBytes(geom.Region(r)) so plans do not depend on which path ran.
+type RectSizer interface {
+	SizeBytesRect(r geom.Rect) float64
+}
+
 // Histogram is an equi-width two-dimensional histogram estimator. It
 // supports the "non-uniform object space" extension (§11): cluster-heavy
 // data is summarized per bucket, and a query's size estimate is the sum of
@@ -88,6 +106,23 @@ func (h *Histogram) SizeBytes(region geom.Region) float64 {
 	if bra := region.BoundingRect().Area(); bra > 0 {
 		fill = region.Area() / bra
 	}
+	return h.rectBytes(br) * fill
+}
+
+// SizeBytesRect is the RectSizer fast path: a rectangle fills its own
+// bounding rectangle, so the fill ratio is 1 and the estimate reduces to
+// the bucket sweep.
+func (h *Histogram) SizeBytesRect(r geom.Rect) float64 {
+	br := r.Intersection(h.bounds)
+	if br.Empty() {
+		return 0
+	}
+	return h.rectBytes(br)
+}
+
+// rectBytes sums bucket bytes weighted by the fraction of each bucket the
+// (already bounds-clipped) rectangle covers.
+func (h *Histogram) rectBytes(br geom.Rect) float64 {
 	bw := h.bounds.Width() / float64(h.nx)
 	bh := h.bounds.Height() / float64(h.ny)
 	i0 := clampInt(int((br.MinX-h.bounds.MinX)/bw), 0, h.nx-1)
@@ -110,11 +145,13 @@ func (h *Histogram) SizeBytes(region geom.Region) float64 {
 			total += h.bytesInBucket[j*h.nx+i] * (overlap / bucket.Area())
 		}
 	}
-	return total * fill
+	return total
 }
 
 var (
 	_ Estimator = Exact{}
 	_ Estimator = Uniform{}
 	_ Estimator = (*Histogram)(nil)
+	_ RectSizer = Uniform{}
+	_ RectSizer = (*Histogram)(nil)
 )

@@ -174,6 +174,12 @@ func (s *Server) Plan() (*Cycle, error) {
 	}
 
 	inst := core.NewGeomInstance(s.cfg.Model, qs, s.cfg.Procedure, s.cfg.Estimator)
+	// One concurrency-safe merged-size cache for the whole replan cycle:
+	// the channel-allocation hill climb re-merges overlapping client
+	// subsets dozens of times, and the parallel solvers probe the same
+	// unions from several goroutines. Built fresh per Plan call because
+	// the estimator reflects the current relation contents.
+	inst.Sizer = cost.NewMemo(inst.Sizer, inst.N)
 	cy := &Cycle{
 		Queries:       qs,
 		Owners:        owners,
