@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-save check experiments fuzz clean
+.PHONY: all build test race bench bench-save bench-compare check experiments fuzz clean
 
 all: build test
 
@@ -26,13 +26,27 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Runs the solver-engine benchmarks and records them as JSON for
-# committing alongside the code (see DESIGN.md "Solver engine").
+# Runs the solver-engine and channel-allocation benchmarks and records
+# them as JSON for committing alongside the code (see DESIGN.md "Solver
+# engine").
 bench-save:
 	$(GO) test -run - \
 		-bench 'BenchmarkPairMerge$$|BenchmarkPairMergeHeap|BenchmarkPairMergeTable|BenchmarkPairMergeNaive|BenchmarkDirectedSearchParallel|BenchmarkClusteringParallel' \
 		-benchmem -benchtime 2x . \
 		| $(GO) run ./cmd/benchjson -o BENCH_solvers.json
+	$(GO) test -run - \
+		-bench 'BenchmarkInitialDistribution|BenchmarkHillClimb|BenchmarkHeuristic|BenchmarkMultiStart' \
+		-benchmem -benchtime 1x ./internal/chanalloc \
+		| $(GO) run ./cmd/benchjson -o BENCH_chanalloc.json
+
+# Diffs a fresh bench-save against the committed baselines, failing on
+# >20% time/op or allocs/op regressions.
+bench-compare:
+	cp BENCH_solvers.json /tmp/BENCH_solvers.baseline.json
+	cp BENCH_chanalloc.json /tmp/BENCH_chanalloc.baseline.json
+	$(MAKE) bench-save
+	$(GO) run ./cmd/benchjson compare /tmp/BENCH_solvers.baseline.json BENCH_solvers.json
+	$(GO) run ./cmd/benchjson compare /tmp/BENCH_chanalloc.baseline.json BENCH_chanalloc.json
 
 # Regenerates every table and figure (see EXPERIMENTS.md).
 experiments:

@@ -1,15 +1,22 @@
 // Command benchjson converts `go test -bench` output read on stdin into
 // a JSON document, so benchmark runs can be committed and diffed (see
-// `make bench-save`).
+// `make bench-save`), and compares two such documents for regressions
+// (see `make bench-compare`).
 //
 // Usage:
 //
 //	go test -bench 'PairMerge' -benchmem | benchjson -o BENCH_solvers.json
+//	benchjson compare OLD.json NEW.json [-threshold 0.20]
 //
 // Standard benchmark lines parse into name, iterations, ns/op and — when
 // -benchmem is on — B/op and allocs/op; any custom b.ReportMetric units
 // land in the metrics map. Non-benchmark lines pass through to stderr so
 // failures stay visible in a pipeline.
+//
+// compare matches benchmarks by name and flags any whose time/op or
+// allocs/op grew by more than the threshold (default 20%), exiting
+// nonzero when a regression is found. Benchmarks present on only one
+// side are reported but never fail the comparison.
 package main
 
 import (
@@ -43,6 +50,10 @@ type Document struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		runCompare(os.Args[2:])
+		return
+	}
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	notes := flag.String("notes", "", "free-form note stored in the document header")
 	flag.Parse()
@@ -134,6 +145,89 @@ func cpuSuffix(name string) string {
 		return ""
 	}
 	return name[i:]
+}
+
+// runCompare implements `benchjson compare OLD NEW`: load both saved
+// documents, match benchmarks by name, and flag regressions past the
+// threshold in ns/op or allocs/op.
+func runCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.20, "relative growth in ns/op or allocs/op that counts as a regression")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchjson compare [-threshold 0.20] OLD.json NEW.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	oldDoc, err := loadDocument(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newDoc, err := loadDocument(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	oldBy := make(map[string]Result, len(oldDoc.Benchmarks))
+	for _, r := range oldDoc.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	regressions := 0
+	matched := 0
+	for _, nw := range newDoc.Benchmarks {
+		old, ok := oldBy[nw.Name]
+		if !ok {
+			fmt.Printf("new      %-60s %12.0f ns/op (no baseline)\n", nw.Name, nw.NsPerOp)
+			continue
+		}
+		delete(oldBy, nw.Name)
+		matched++
+		bad := false
+		report := func(metric string, o, n float64) {
+			if o <= 0 {
+				return
+			}
+			growth := n/o - 1
+			if growth > *threshold {
+				bad = true
+				fmt.Printf("WORSE    %-60s %s %12.0f -> %12.0f (%+.1f%%)\n",
+					nw.Name, metric, o, n, growth*100)
+			}
+		}
+		report("ns/op", old.NsPerOp, nw.NsPerOp)
+		report("allocs/op", old.AllocsOp, nw.AllocsOp)
+		if bad {
+			regressions++
+		} else {
+			fmt.Printf("ok       %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+				nw.Name, old.NsPerOp, nw.NsPerOp, (nw.NsPerOp/old.NsPerOp-1)*100)
+		}
+	}
+	for name := range oldBy {
+		fmt.Printf("removed  %-60s (present only in %s)\n", name, fs.Arg(0))
+	}
+	fmt.Printf("compared %d benchmarks, %d regressions (threshold %+.0f%%)\n",
+		matched, regressions, *threshold*100)
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+func loadDocument(path string) (Document, error) {
+	var doc Document
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
 }
 
 func fatal(err error) {

@@ -64,7 +64,7 @@ func main() {
 	case "fig16", "fig17", "merge":
 		runMerge(*trials, *minQ, *maxQ, *seed)
 	case "fig18", "fig19", "channel":
-		runChannel(*trials, *clients, *channels, *qpc, *seed)
+		runChannel(*trials, *clients, *channels, *qpc, *seed, *parallel)
 	case "appendix1":
 		runAppendix1()
 	case "estimators":
@@ -84,7 +84,7 @@ func main() {
 		fmt.Println()
 		runMerge(*trials, *minQ, *maxQ, *seed)
 		fmt.Println()
-		runChannel(*trials, *clients, *channels, *qpc, *seed)
+		runChannel(*trials, *clients, *channels, *qpc, *seed, *parallel)
 		fmt.Println()
 		runEstimators(*trials, *seed)
 		fmt.Println()
@@ -124,7 +124,7 @@ func runMerge(trials, minQ, maxQ int, seed int64) {
 	writeCSV("fig16_17_merge", func(f *os.File) error { return experiment.WriteMergeCSV(f, rows) })
 }
 
-func runChannel(trials, clients, channels, qpc int, seed int64) {
+func runChannel(trials, clients, channels, qpc int, seed int64, parallel int) {
 	cfg := experiment.DefaultChannelConfig()
 	if trials > 0 {
 		cfg.Trials = trials
@@ -133,6 +133,7 @@ func runChannel(trials, clients, channels, qpc int, seed int64) {
 	cfg.Channels = channels
 	cfg.QueriesPerClient = qpc
 	cfg.Workload.Seed = seed
+	cfg.Parallelism = parallel
 	fmt.Printf("Figures 18+19: channel allocation heuristics vs exhaustive optimum\n")
 	fmt.Printf("(paper: smart 81.8%%, random 85.5%%, best-of-both 88.6%% optimal; 0.17%% distance)\n")
 	fmt.Printf("clients=%d channels=%d queries/client=%d; model: K_M=%g K_T=%g K_U=%g K6=%g; trials=%d\n",

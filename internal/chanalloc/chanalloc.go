@@ -8,14 +8,24 @@
 //
 // The package provides the exhaustive tree search of Fig 13 and the §8.2
 // heuristic: a greedy pairwise initial distribution (Fig 14) followed by
-// hill climbing that moves one client at a time, plus the random-start and
-// best-of-both variants evaluated in Fig 18.
+// hill climbing that moves one client at a time, plus the random-start,
+// best-of-both and parallel multi-start variants evaluated in Fig 18.
+//
+// All allocators run on a shared engine (see engine.go): client groups
+// are cost.QSet bitsets, per-channel merged costs are memoized in a
+// sharded group-cost cache keyed by (query union, listener count), the
+// Fig 14 greedy selects pairs through a lazy max-heap, and hill climbing
+// evaluates a move by recomputing only the two touched channels against
+// cached group costs. The pre-engine scan-based implementations survive
+// as named ablations (TableScan, NaiveRecompute), mirroring the solver
+// engine's PairMerge ablation flags.
 package chanalloc
 
 import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"qsub/internal/core"
 )
@@ -25,11 +35,39 @@ import (
 // multicast channels; Merger is the merging algorithm run per channel
 // (the paper uses Pair Merging so larger query counts stay feasible,
 // §9.4).
+//
+// A Problem carries a lazily built group-cost cache shared by every
+// allocator run over it (the Fig 18/19 drivers run the exhaustive
+// optimum and all heuristic strategies on one Problem). Treat a Problem
+// as immutable once any allocator has run: changing Inst, Clients or
+// Merger afterwards would leave stale cached costs behind.
 type Problem struct {
 	Inst     *core.Instance
 	Clients  [][]int
 	Channels int
 	Merger   core.Algorithm
+
+	// Parallelism bounds the worker pool of the parallel allocators
+	// (MultiStart restarts, BestOfBoth's two climbs). Zero means
+	// runtime.GOMAXPROCS(0); 1 runs them sequentially. Results are
+	// identical at any setting for a fixed seed, as with
+	// core.DirectedSearch.
+	Parallelism int
+	// Restarts is the number of MultiStart restarts; zero means the
+	// default of 8.
+	Restarts int
+
+	// TableScan makes InitialDistribution select pairs by rescanning
+	// the full pair table every step instead of popping the lazy
+	// max-heap (ablation; the pre-engine Fig 14 loop).
+	TableScan bool
+	// NaiveRecompute disables the group-cost cache: every probe re-runs
+	// the merging algorithm on the channel's queries (ablation; the
+	// pre-engine cost path).
+	NaiveRecompute bool
+
+	engOnce sync.Once
+	eng     *engine
 }
 
 // Validate reports whether the problem is well-formed.
@@ -139,16 +177,23 @@ func (r remapSizer) MergedSize(set []int) float64 {
 }
 
 // Cost returns the total cost of an allocation: the sum over channels of
-// the merged cost of that channel's client queries.
+// the merged cost of that channel's client queries. Group costs come
+// from the Problem's shared cache, so re-evaluating allocations that
+// reuse already-probed channel groups is a map lookup per channel.
 func Cost(p *Problem, a Allocation) float64 {
+	return costCtx(p.newCtx(), a)
+}
+
+// costCtx is Cost over a caller-owned evaluation context.
+func costCtx(ctx *evalCtx, a Allocation) float64 {
+	p := ctx.p
 	groups := make([][]int, p.Channels)
 	for client, ch := range a {
 		groups[ch] = append(groups[ch], client)
 	}
 	total := 0.0
 	for _, g := range groups {
-		c, _ := ChannelCost(p, g)
-		total += c
+		total += ctx.groupCostClients(g)
 	}
 	return total
 }
@@ -174,18 +219,28 @@ func Plans(p *Problem, a Allocation) []core.Plan {
 // cheapest allocation. The number of cases is the sum of Stirling
 // partition numbers, so this is only feasible for small client counts —
 // it serves as the optimal baseline of the Fig 18/19 experiments.
+//
+// Leaf costs are evaluated against the Problem's group-cost cache:
+// neighboring leaves share most of their channel groups, so the vast
+// majority of per-channel merge solves collapse into cache hits (and the
+// cache is then warm for the heuristics run on the same Problem).
 func Exhaustive(p *Problem) (Allocation, float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, 0, err
 	}
+	ctx := p.newCtx()
 	n := len(p.Clients)
 	assign := make([]int, n)
+	groups := make([][]int, p.Channels)
 	best := make(Allocation, n)
 	bestCost := -1.0
 	var rec func(i, blocks int)
 	rec = func(i, blocks int) {
 		if i == n {
-			c := Cost(p, assign)
+			c := 0.0
+			for _, g := range groups[:blocks] {
+				c += ctx.groupCostClients(g)
+			}
 			if bestCost < 0 || c < bestCost {
 				bestCost = c
 				copy(best, assign)
@@ -194,11 +249,15 @@ func Exhaustive(p *Problem) (Allocation, float64, error) {
 		}
 		for b := 0; b < blocks; b++ {
 			assign[i] = b
+			groups[b] = append(groups[b], i)
 			rec(i+1, blocks)
+			groups[b] = groups[b][:len(groups[b])-1]
 		}
 		if blocks < p.Channels {
 			assign[i] = blocks
+			groups[blocks] = append(groups[blocks], i)
 			rec(i+1, blocks+1)
+			groups[blocks] = groups[blocks][:len(groups[blocks])-1]
 		}
 	}
 	rec(0, 0)
@@ -207,3 +266,16 @@ func Exhaustive(p *Problem) (Allocation, float64, error) {
 
 // rng returns a deterministic random source for the given seed.
 func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// restartRNG derives an independent deterministic RNG for one multi-start
+// restart: splitmix64 over (seed, run) decorrelates the streams so
+// neighboring restarts do not explore correlated distributions (the same
+// derivation core.DirectedSearch uses for its restarts).
+func restartRNG(seed int64, run int) *rand.Rand {
+	z := uint64(seed) + uint64(run+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+}

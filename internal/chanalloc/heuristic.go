@@ -2,23 +2,153 @@ package chanalloc
 
 // This file implements the §8.2 heuristic: the greedy pairwise initial
 // distribution of Fig 14, the hill-climbing reallocation loop, and the
-// three strategies compared in Fig 18 (smart init, random init, and
-// best-of-both).
+// strategies compared in Fig 18 (smart init, random init, best-of-both,
+// and the parallel multi-start extension).
+//
+// Both phases run on the engine of engine.go: pairing gains and move
+// probes resolve through the shared group-cost cache, the Fig 14 greedy
+// selects pairs by popping a lazy max-heap (the pairmerge.go pattern)
+// instead of rescanning the full pair table, and hill climbing
+// re-evaluates only the two channels a move touches. The pre-engine
+// selection loop survives behind the TableScan ablation flag and yields
+// bit-identical allocations.
+
+import (
+	"runtime"
+	"sync"
+)
+
+// idEntry is one candidate pair in the Fig 14 gain heap. Entries are
+// immutable; invalidation is lazy (an entry whose endpoint has been
+// allocated is discarded when popped).
+type idEntry struct {
+	gain float64
+	a, b int
+}
+
+// idLess orders the heap: larger gain first, ties broken by smaller
+// client ids. This reproduces the table scan's "first strictly greater"
+// rule exactly — the table holds pairs in (a, b) lexicographic order and
+// keeps the earliest maximum — so heap and scan pick identical pairs.
+func idLess(x, y idEntry) bool {
+	if x.gain != y.gain {
+		return x.gain > y.gain
+	}
+	if x.a != y.a {
+		return x.a < y.a
+	}
+	return x.b < y.b
+}
+
+func idHeapInit(h []idEntry) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		idSiftDown(h, i)
+	}
+}
+
+func idHeapPop(h *[]idEntry) idEntry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	idSiftDown(s[:last], 0)
+	return top
+}
+
+func idSiftDown(h []idEntry, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h) && idLess(h[l], h[best]) {
+			best = l
+		}
+		if r < len(h) && idLess(h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
 
 // InitialDistribution is the Fig 14 greedy: compute the pairing gain
 // Cost_Δ = Cost{ca} + Cost{cb} − Cost{ca,cb} for every client pair, then
 // repeatedly take the highest-gain pair, allocate both clients to the
 // current channel, drop all pairs touching them, and advance the channel
 // round-robin. Leftover clients are assigned round-robin.
+//
+// The default engine keeps the pairs in a max-heap with lazy
+// invalidation, so each step is O(log n) instead of an O(n²) table
+// rescan; the TableScan ablation keeps the original loop. Unlike the
+// merge heap of PairMerge, non-positive gains are kept: Fig 14 pairs
+// clients until the table is empty regardless of sign.
 func InitialDistribution(p *Problem) Allocation {
+	return initialDistributionCtx(p.newCtx())
+}
+
+func initialDistributionCtx(ctx *evalCtx) Allocation {
+	if ctx.p.TableScan {
+		return initialDistributionScan(ctx)
+	}
+	p := ctx.p
 	n := len(p.Clients)
 	alloc := make(Allocation, n)
 	for i := range alloc {
 		alloc[i] = -1
 	}
 	single := make([]float64, n)
+	pair := [2]int{}
 	for c := range p.Clients {
-		single[c], _ = ChannelCost(p, []int{c})
+		pair[0] = c
+		single[c] = ctx.groupCostClients(pair[:1])
+	}
+	h := make([]idEntry, 0, n*(n-1)/2)
+	for a := 0; a < n; a++ {
+		pair[0] = a
+		for b := a + 1; b < n; b++ {
+			pair[1] = b
+			joint := ctx.groupCostClients(pair[:2])
+			h = append(h, idEntry{gain: single[a] + single[b] - joint, a: a, b: b})
+		}
+	}
+	idHeapInit(h)
+	cch := 0
+	for len(h) > 0 {
+		e := idHeapPop(&h)
+		if alloc[e.a] >= 0 || alloc[e.b] >= 0 {
+			continue // lazy invalidation: an already-allocated endpoint
+		}
+		alloc[e.a], alloc[e.b] = cch, cch
+		cch = (cch + 1) % p.Channels
+	}
+	for c := 0; c < n; c++ {
+		if alloc[c] < 0 {
+			alloc[c] = cch
+			cch = (cch + 1) % p.Channels
+		}
+	}
+	return alloc
+}
+
+// initialDistributionScan is the TableScan ablation: the pre-engine
+// Fig 14 loop with a full pair-table rescan per step. Costs still
+// resolve through the evaluation context so the NaiveRecompute flag
+// composes independently.
+func initialDistributionScan(ctx *evalCtx) Allocation {
+	p := ctx.p
+	n := len(p.Clients)
+	alloc := make(Allocation, n)
+	for i := range alloc {
+		alloc[i] = -1
+	}
+	single := make([]float64, n)
+	pair := [2]int{}
+	for c := range p.Clients {
+		pair[0] = c
+		single[c] = ctx.groupCostClients(pair[:1])
 	}
 	type triple struct {
 		a, b int
@@ -26,8 +156,10 @@ func InitialDistribution(p *Problem) Allocation {
 	}
 	var pairs []triple
 	for a := 0; a < n; a++ {
+		pair[0] = a
 		for b := a + 1; b < n; b++ {
-			joint, _ := ChannelCost(p, []int{a, b})
+			pair[1] = b
+			joint := ctx.groupCostClients(pair[:2])
 			pairs = append(pairs, triple{a, b, single[a] + single[b] - joint})
 		}
 	}
@@ -61,10 +193,15 @@ func InitialDistribution(p *Problem) Allocation {
 
 // RandomDistribution assigns each client to a uniformly random channel.
 func RandomDistribution(p *Problem, seed int64) Allocation {
-	rng := newRng(seed)
+	return randomDistribution(p, newRng(seed).Intn)
+}
+
+// randomDistribution draws one channel per client from intn, which lets
+// multi-start restarts supply their own derived RNG streams.
+func randomDistribution(p *Problem, intn func(int) int) Allocation {
 	alloc := make(Allocation, len(p.Clients))
 	for i := range alloc {
-		alloc[i] = rng.Intn(p.Channels)
+		alloc[i] = intn(p.Channels)
 	}
 	return alloc
 }
@@ -73,8 +210,16 @@ func RandomDistribution(p *Problem, seed int64) Allocation {
 // whose relocation to another channel reduces total cost the most,
 // stopping at a local minimum (§8.2). Per-channel costs are kept in a
 // table (the paper's T) so each candidate move re-evaluates only the two
-// channels it touches.
+// channels it touches — and those two evaluations resolve against the
+// group-cost cache, so a group probed in any earlier iteration (or by any
+// other allocator on the same Problem) costs a map lookup, not a merge
+// solve.
 func HillClimb(p *Problem, alloc Allocation) Allocation {
+	return hillClimbCtx(p.newCtx(), alloc)
+}
+
+func hillClimbCtx(ctx *evalCtx, alloc Allocation) Allocation {
+	p := ctx.p
 	alloc = alloc.Clone()
 	groups := make([][]int, p.Channels)
 	for client, ch := range alloc {
@@ -82,7 +227,7 @@ func HillClimb(p *Problem, alloc Allocation) Allocation {
 	}
 	costs := make([]float64, p.Channels)
 	for ch := range groups {
-		costs[ch], _ = ChannelCost(p, groups[ch])
+		costs[ch] = ctx.groupCostClients(groups[ch])
 	}
 	for {
 		bestGain := 1e-9
@@ -95,14 +240,12 @@ func HillClimb(p *Problem, alloc Allocation) Allocation {
 				// channels is a no-op.
 				continue
 			}
-			fromWithout := without(groups[from], client)
-			fromCost, _ := ChannelCost(p, fromWithout)
+			fromCost := ctx.groupCost(ctx.unionWithout(groups[from], client), len(groups[from])-1)
 			for to := 0; to < p.Channels; to++ {
 				if to == from {
 					continue
 				}
-				toWith := append(append([]int{}, groups[to]...), client)
-				toCost, _ := ChannelCost(p, toWith)
+				toCost := ctx.groupCost(ctx.unionWith(groups[to], client), len(groups[to])+1)
 				gain := (costs[from] + costs[to]) - (fromCost + toCost)
 				if gain > bestGain {
 					bestGain = gain
@@ -153,6 +296,9 @@ const (
 	RandomInit
 	// BestOfBoth runs both seeds and keeps the cheaper result.
 	BestOfBoth
+	// MultiStartInit runs the smart seed plus Restarts−1 random seeds on
+	// a bounded worker pool and keeps the cheapest local minimum.
+	MultiStartInit
 )
 
 // String returns the strategy name used in reports.
@@ -164,9 +310,88 @@ func (s Strategy) String() string {
 		return "random-init"
 	case BestOfBoth:
 		return "best-of-both"
+	case MultiStartInit:
+		return "multi-start"
 	default:
 		return "unknown"
 	}
+}
+
+// parallelism resolves the Problem's worker-pool bound.
+func (p *Problem) parallelism() int {
+	if p.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.Parallelism
+}
+
+// MultiStart runs Restarts hill climbs — the first from the Fig 14 smart
+// distribution, the rest from independent random distributions — on a
+// bounded worker pool and returns the cheapest local minimum.
+//
+// Each restart derives its RNG from (seed, restart index) via splitmix64
+// and the winner is chosen by (cost, restart index), so a fixed seed
+// yields the same allocation at any Parallelism — the same contract as
+// core.DirectedSearch. All restarts share the Problem's group-cost
+// cache, so a group probed by one restart is a lookup for every other.
+func MultiStart(p *Problem, seed int64) (Allocation, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	t := p.Restarts
+	if t <= 0 {
+		t = 8
+	}
+	allocs := make([]Allocation, t)
+	costs := make([]float64, t)
+	runOne := func(run int) {
+		ctx := p.newCtx()
+		var start Allocation
+		if run == 0 {
+			start = initialDistributionCtx(ctx)
+		} else {
+			start = randomDistribution(p, restartRNG(seed, run).Intn)
+		}
+		allocs[run] = hillClimbCtx(ctx, start)
+		costs[run] = costCtx(ctx, allocs[run])
+	}
+
+	workers := p.parallelism()
+	if workers > t {
+		workers = t
+	}
+	if workers <= 1 {
+		for run := 0; run < t; run++ {
+			runOne(run)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for run := range next {
+					runOne(run)
+				}
+			}()
+		}
+		for run := 0; run < t; run++ {
+			next <- run
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Deterministic winner: lowest cost, earliest restart on ties —
+	// independent of which worker finished first.
+	best := 0
+	for run := 1; run < t; run++ {
+		if costs[run] < costs[best] {
+			best = run
+		}
+	}
+	return allocs[best], costs[best], nil
 }
 
 // Heuristic runs the §8.2 algorithm with the chosen strategy and returns
@@ -176,22 +401,52 @@ func Heuristic(p *Problem, s Strategy, seed int64) (Allocation, float64, error) 
 		return nil, 0, err
 	}
 	switch s {
-	case SmartInit:
-		a := HillClimb(p, InitialDistribution(p))
-		return a, Cost(p, a), nil
 	case RandomInit:
-		a := HillClimb(p, RandomDistribution(p, seed))
-		return a, Cost(p, a), nil
+		ctx := p.newCtx()
+		a := hillClimbCtx(ctx, RandomDistribution(p, seed))
+		return a, costCtx(ctx, a), nil
 	case BestOfBoth:
-		a1 := HillClimb(p, InitialDistribution(p))
-		a2 := HillClimb(p, RandomDistribution(p, seed))
-		c1, c2 := Cost(p, a1), Cost(p, a2)
-		if c1 <= c2 {
-			return a1, c1, nil
-		}
-		return a2, c2, nil
-	default:
-		a := HillClimb(p, InitialDistribution(p))
-		return a, Cost(p, a), nil
+		return bestOfBoth(p, seed)
+	case MultiStartInit:
+		return MultiStart(p, seed)
+	default: // SmartInit
+		ctx := p.newCtx()
+		a := hillClimbCtx(ctx, initialDistributionCtx(ctx))
+		return a, costCtx(ctx, a), nil
 	}
+}
+
+// bestOfBoth runs the smart-init and random-init climbs — concurrently
+// when the Problem allows two workers — and keeps the cheaper result,
+// preferring the smart seed on exact ties (the sequential tie rule).
+func bestOfBoth(p *Problem, seed int64) (Allocation, float64, error) {
+	var a1, a2 Allocation
+	var c1, c2 float64
+	run1 := func() {
+		ctx := p.newCtx()
+		a1 = hillClimbCtx(ctx, initialDistributionCtx(ctx))
+		c1 = costCtx(ctx, a1)
+	}
+	run2 := func() {
+		ctx := p.newCtx()
+		a2 = hillClimbCtx(ctx, RandomDistribution(p, seed))
+		c2 = costCtx(ctx, a2)
+	}
+	if p.parallelism() >= 2 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run2()
+		}()
+		run1()
+		wg.Wait()
+	} else {
+		run1()
+		run2()
+	}
+	if c1 <= c2 {
+		return a1, c1, nil
+	}
+	return a2, c2, nil
 }

@@ -1,0 +1,230 @@
+package chanalloc
+
+// Equivalence and determinism tests for the channel-allocation engine:
+// the heap-driven greedy and cached delta-cost climb must produce
+// bit-identical allocations to the scan-based ablations, fixed-seed
+// multi-start must be invariant under Parallelism, and the group-cost
+// cache must cut merge solves by the margin the engine promises.
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"qsub/internal/cost"
+	"qsub/internal/geom"
+)
+
+// variant clones the Problem's inputs into a fresh Problem (fresh cache,
+// fresh ablation flags); Problems carry a sync.Once so they cannot be
+// copied by value.
+func variant(p *Problem, mutate func(*Problem)) *Problem {
+	v := &Problem{
+		Inst:     p.Inst,
+		Clients:  p.Clients,
+		Channels: p.Channels,
+		Merger:   p.Merger,
+	}
+	if mutate != nil {
+		mutate(v)
+	}
+	return v
+}
+
+func allocsEqual(a, b Allocation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// adversarialProblems builds degenerate allocation instances: every
+// client sharing one query, disjoint single-query clients, identical
+// subscriptions, and more channels than clients.
+func adversarialProblems() map[string]*Problem {
+	shared := []geom.Rect{geom.R(0, 0, 10, 10), geom.R(2, 2, 8, 8), geom.R(50, 50, 60, 60)}
+	disjoint := []geom.Rect{geom.R(0, 0, 1, 1), geom.R(10, 10, 11, 11), geom.R(20, 20, 21, 21), geom.R(30, 30, 31, 31)}
+	return map[string]*Problem{
+		"all-share-one-query": newProblem(testModel, shared,
+			[][]int{{0}, {0, 1}, {0, 2}, {0}, {0, 1, 2}}, 2),
+		"disjoint-singletons": newProblem(testModel, disjoint,
+			[][]int{{0}, {1}, {2}, {3}}, 2),
+		"identical-subscriptions": newProblem(testModel, shared,
+			[][]int{{0, 1}, {0, 1}, {0, 1}, {0, 1}}, 3),
+		"more-channels-than-clients": newProblem(testModel, disjoint,
+			[][]int{{0, 1}, {2}}, 4),
+	}
+}
+
+// TestEngineMatchesAblations pins the engine's core equivalence claim:
+// heap selection and cached delta-cost probes change how costs are
+// found, never their values, so allocations are identical to the
+// scan-based ablations on random and adversarial problems.
+func TestEngineMatchesAblations(t *testing.T) {
+	probs := adversarialProblems()
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 6; i++ {
+		probs["random"] = randomProblem(rng, 8, 6, 3, testModel)
+		probs["random-tight"] = randomProblem(rng, 5, 7, 2, testModel)
+
+		for name, base := range probs {
+			engine := variant(base, nil)
+			ablations := map[string]*Problem{
+				"table-scan":      variant(base, func(p *Problem) { p.TableScan = true }),
+				"naive-recompute": variant(base, func(p *Problem) { p.NaiveRecompute = true }),
+				"seed-behavior": variant(base, func(p *Problem) {
+					p.TableScan = true
+					p.NaiveRecompute = true
+				}),
+			}
+
+			wantInit := InitialDistribution(engine)
+			for abName, ab := range ablations {
+				if got := InitialDistribution(ab); !allocsEqual(got, wantInit) {
+					t.Fatalf("%s: InitialDistribution %s = %v, engine = %v", name, abName, got, wantInit)
+				}
+			}
+
+			start := RandomDistribution(engine, int64(i))
+			wantClimb := HillClimb(engine, start)
+			for abName, ab := range ablations {
+				if got := HillClimb(ab, start); !allocsEqual(got, wantClimb) {
+					t.Fatalf("%s: HillClimb %s = %v, engine = %v", name, abName, got, wantClimb)
+				}
+			}
+
+			for _, s := range []Strategy{SmartInit, RandomInit, BestOfBoth, MultiStartInit} {
+				wantA, wantC, err := Heuristic(variant(base, nil), s, int64(i))
+				if err != nil {
+					t.Fatalf("%s: engine Heuristic(%v): %v", name, s, err)
+				}
+				for abName, mutate := range map[string]func(*Problem){
+					"table-scan":      func(p *Problem) { p.TableScan = true },
+					"naive-recompute": func(p *Problem) { p.NaiveRecompute = true },
+				} {
+					gotA, gotC, err := Heuristic(variant(base, mutate), s, int64(i))
+					if err != nil {
+						t.Fatalf("%s: %s Heuristic(%v): %v", name, abName, s, err)
+					}
+					if gotC != wantC || !allocsEqual(gotA, wantA) {
+						t.Fatalf("%s: Heuristic(%v) %s = %v cost %v, engine = %v cost %v",
+							name, s, abName, gotA, gotC, wantA, wantC)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiStartParallelismInvariance pins the determinism contract: a
+// fixed seed yields the same allocation and cost at any Parallelism.
+func TestMultiStartParallelismInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		base := randomProblem(rng, 9, 8, 3, testModel)
+		wantA, wantC, err := MultiStart(variant(base, func(p *Problem) { p.Parallelism = 1 }), int64(trial))
+		if err != nil {
+			t.Fatalf("MultiStart sequential: %v", err)
+		}
+		for _, par := range []int{2, 4, 8} {
+			gotA, gotC, err := MultiStart(variant(base, func(p *Problem) { p.Parallelism = par }), int64(trial))
+			if err != nil {
+				t.Fatalf("MultiStart parallelism=%d: %v", par, err)
+			}
+			if gotC != wantC || !allocsEqual(gotA, wantA) {
+				t.Fatalf("MultiStart parallelism=%d = %v cost %v, sequential = %v cost %v",
+					par, gotA, gotC, wantA, wantC)
+			}
+		}
+		// Restarts must subsume the sequential single climbs: the winner
+		// can never cost more than the smart-init local minimum.
+		_, smartC, err := Heuristic(variant(base, nil), SmartInit, int64(trial))
+		if err != nil {
+			t.Fatalf("Heuristic SmartInit: %v", err)
+		}
+		if wantC > smartC {
+			t.Fatalf("MultiStart cost %v worse than smart-init %v", wantC, smartC)
+		}
+	}
+}
+
+// TestBestOfBothParallelismInvariance checks the concurrent two-climb
+// path agrees with the sequential one, including its tie rule.
+func TestBestOfBothParallelismInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 4; trial++ {
+		base := randomProblem(rng, 7, 6, 2, testModel)
+		wantA, wantC, err := Heuristic(variant(base, func(p *Problem) { p.Parallelism = 1 }), BestOfBoth, int64(trial))
+		if err != nil {
+			t.Fatalf("BestOfBoth sequential: %v", err)
+		}
+		gotA, gotC, err := Heuristic(variant(base, func(p *Problem) { p.Parallelism = 4 }), BestOfBoth, int64(trial))
+		if err != nil {
+			t.Fatalf("BestOfBoth parallel: %v", err)
+		}
+		if gotC != wantC || !allocsEqual(gotA, wantA) {
+			t.Fatalf("BestOfBoth parallel = %v cost %v, sequential = %v cost %v",
+				gotA, gotC, wantA, wantC)
+		}
+	}
+}
+
+// countingSizer wraps a cost.Sizer and counts MergedSize probes — the
+// unit of merge-solve work the group-cost cache is meant to eliminate.
+type countingSizer struct {
+	inner cost.Sizer
+	calls atomic.Int64
+}
+
+func (cs *countingSizer) Size(i int) float64 { return cs.inner.Size(i) }
+
+func (cs *countingSizer) MergedSize(set []int) float64 {
+	cs.calls.Add(1)
+	return cs.inner.MergedSize(set)
+}
+
+// TestGroupCostCacheCutsSolves pins the headline acceptance criterion:
+// the cached engine issues at least 5x fewer merge-size probes than the
+// uncached scan path on the multi-start workload, where restarts climb
+// through heavily overlapping channel groups and the shared cache
+// collapses the repeats (runs sequentially so the counts are stable).
+func TestGroupCostCacheCutsSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	base := randomProblem(rng, 10, 12, 3, testModel)
+
+	run := func(mutate func(*Problem)) int64 {
+		p := variant(base, mutate)
+		p.Parallelism = 1
+		if mutate != nil {
+			mutate(p)
+		}
+		cs := &countingSizer{inner: p.Inst.Sizer}
+		inst := *p.Inst
+		inst.Sizer = cs
+		p.Inst = &inst
+		if _, _, err := Heuristic(p, MultiStartInit, 1); err != nil {
+			t.Fatalf("Heuristic: %v", err)
+		}
+		return cs.calls.Load()
+	}
+
+	engine := run(nil)
+	seedLike := run(func(p *Problem) {
+		p.TableScan = true
+		p.NaiveRecompute = true
+	})
+	if engine == 0 {
+		t.Fatal("engine issued no merge-size probes")
+	}
+	if seedLike < 5*engine {
+		t.Fatalf("cache cut merge probes only %.1fx (engine %d, uncached %d), want >= 5x",
+			float64(seedLike)/float64(engine), engine, seedLike)
+	}
+	t.Logf("merge-size probes: engine %d, uncached scan %d (%.1fx)",
+		engine, seedLike, float64(seedLike)/float64(engine))
+}

@@ -187,6 +187,10 @@ type ChannelConfig struct {
 	QueriesPerClient int
 	// Trials is the number of workloads evaluated.
 	Trials int
+	// Parallelism bounds the allocator worker pools (best-of-both's two
+	// climbs, multi-start restarts). Zero means GOMAXPROCS; results are
+	// identical at any setting.
+	Parallelism int
 }
 
 // DefaultChannelConfig returns the parameters the harness uses to
@@ -254,10 +258,14 @@ func RunChannelAllocation(cfg ChannelConfig) ([]ChannelResult, error) {
 		qs := gen.Queries(cfg.Clients * cfg.QueriesPerClient)
 		inst := core.NewGeomInstance(cfg.Model, qs, query.BoundingRect{}, est)
 		clients := gen.Clients(cfg.Clients, qs)
+		// One Problem per trial: the exhaustive optimum and all three
+		// strategies share its group-cost cache, so the heuristics mostly
+		// replay groups the exhaustive search already solved.
 		prob := &chanalloc.Problem{
-			Inst:     inst,
-			Clients:  clients,
-			Channels: cfg.Channels,
+			Inst:        inst,
+			Clients:     clients,
+			Channels:    cfg.Channels,
+			Parallelism: cfg.Parallelism,
 		}
 		_, opt, err := chanalloc.Exhaustive(prob)
 		if err != nil {

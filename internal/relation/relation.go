@@ -180,12 +180,22 @@ func clampInt(v, lo, hi int) int {
 // ascending id order. It uses the grid index to restrict the scan to cells
 // overlapping the region's bounding rectangle.
 func (r *Relation) Search(region geom.Region) []Tuple {
+	return r.SearchAppend(region, nil)
+}
+
+// SearchAppend appends all tuples whose position lies inside the region
+// to buf, in ascending id order, and returns the extended slice. Passing
+// a reused buffer (buf[:0]) lets per-worker dissemination loops avoid
+// allocating a fresh result slice per query set; only the appended tail
+// is sorted, so entries already in buf are left untouched.
+func (r *Relation) SearchAppend(region geom.Region, buf []Tuple) []Tuple {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	var out []Tuple
-	r.scan(region, func(t Tuple) { out = append(out, t) })
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	start := len(buf)
+	r.scan(region, func(t Tuple) { buf = append(buf, t) })
+	tail := buf[start:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i].ID < tail[j].ID })
+	return buf
 }
 
 // Count returns the number of tuples inside the region.
@@ -242,16 +252,21 @@ func (r *Relation) All() []Tuple {
 // order. The continuous-query mode of the server uses this to disseminate
 // per-period deltas (future work §11: "queries are continuous, and return
 // new objects added to the database").
+//
+// Ids are assigned monotonically and tuples are only ever appended (and
+// compacted in order), so r.tuples is already id-ascending: a binary
+// search finds the first tuple past the watermark and the live tail is
+// returned as-is, with no full scan or re-sort.
 func (r *Relation) InsertedSince(id uint64) []Tuple {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	first := sort.Search(len(r.tuples), func(i int) bool { return r.tuples[i].ID > id })
 	var out []Tuple
-	for i, t := range r.tuples {
-		if t.ID > id && !r.dead[i] {
-			out = append(out, t)
+	for i := first; i < len(r.tuples); i++ {
+		if !r.dead[i] {
+			out = append(out, r.tuples[i])
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

@@ -46,6 +46,13 @@ type Config struct {
 	Split bool
 	// Seed drives the randomized pieces (random-init allocation).
 	Seed int64
+	// Parallelism bounds the channel-allocation worker pools (multi-start
+	// restarts, best-of-both's two climbs). Zero means GOMAXPROCS; a
+	// fixed Seed plans the same cycle at any setting.
+	Parallelism int
+	// Restarts is the multi-start restart count (0 = the chanalloc
+	// default of 8); only used with chanalloc.MultiStartInit.
+	Restarts int
 }
 
 // Server owns the subscription registry and the merge/publish cycle.
@@ -200,10 +207,12 @@ func (s *Server) Plan() (*Cycle, error) {
 	}
 
 	prob := &chanalloc.Problem{
-		Inst:     inst,
-		Clients:  clientQueryIdx,
-		Channels: s.net.Channels(),
-		Merger:   s.cfg.Algorithm,
+		Inst:        inst,
+		Clients:     clientQueryIdx,
+		Channels:    s.net.Channels(),
+		Merger:      s.cfg.Algorithm,
+		Parallelism: s.cfg.Parallelism,
+		Restarts:    s.cfg.Restarts,
 	}
 	alloc, total, err := chanalloc.Heuristic(prob, s.cfg.Strategy, s.cfg.Seed)
 	if err != nil {
@@ -241,6 +250,12 @@ func (s *Server) applySplit(cy *Cycle, numClients int) {
 	}
 	cy.ChannelCovered = make([]map[int][]int, len(cy.ChannelPlans))
 	savings := 0.0
+	// Count listeners once for every channel instead of rescanning the
+	// client map per channel.
+	listeners := make([]int, len(cy.ChannelPlans))
+	for _, c := range cy.ClientChannel {
+		listeners[c]++
+	}
 	for ch, plan := range cy.ChannelPlans {
 		if len(plan) < 2 {
 			continue
@@ -249,13 +264,7 @@ func (s *Server) applySplit(cy *Cycle, numClients int) {
 		if s.net.Channels() > 1 {
 			// Charge the per-listener filtering the channel's own
 			// cost was computed with.
-			listeners := 0
-			for _, c := range cy.ClientChannel {
-				if c == ch {
-					listeners++
-				}
-			}
-			model.KM += model.K6 * float64(listeners)
+			model.KM += model.K6 * float64(listeners[ch])
 		} else {
 			model.KM += model.K6 * float64(numClients)
 		}
@@ -332,14 +341,23 @@ func (s *Server) publish(cy *Cycle, sinceID uint64, delta bool) (Report, error) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker scratch: the member list is rebuilt per job in
+			// one reused buffer (merge procedures do not retain it), and
+			// query results append into a per-worker arena — each job's
+			// result is a capped sub-slice, so a growing append leaves
+			// earlier results intact on their old backing arrays.
+			var members []query.Query
+			var tupleBuf []relation.Tuple
 			for idx := range next {
 				j := jobs[idx]
-				members := make([]query.Query, len(j.set))
-				for i, qi := range j.set {
-					members[i] = cy.Queries[qi]
+				members = members[:0]
+				for _, qi := range j.set {
+					members = append(members, cy.Queries[qi])
 				}
 				region := s.cfg.Procedure.Merge(members)
-				tuples := s.rel.Search(region)
+				start := len(tupleBuf)
+				tupleBuf = s.rel.SearchAppend(region, tupleBuf)
+				tuples := tupleBuf[start:len(tupleBuf):len(tupleBuf)]
 				if delta && sinceID > 0 {
 					kept := tuples[:0]
 					for _, t := range tuples {

@@ -242,9 +242,10 @@ type (
 
 // Channel allocation strategies (Fig 18).
 const (
-	SmartInit  = chanalloc.SmartInit
-	RandomInit = chanalloc.RandomInit
-	BestOfBoth = chanalloc.BestOfBoth
+	SmartInit      = chanalloc.SmartInit
+	RandomInit     = chanalloc.RandomInit
+	BestOfBoth     = chanalloc.BestOfBoth
+	MultiStartInit = chanalloc.MultiStartInit
 )
 
 // AllocExhaustive returns the optimal allocation by exhaustive search.
@@ -255,6 +256,13 @@ func AllocExhaustive(p *AllocProblem) (Allocation, float64, error) {
 // AllocHeuristic runs the §8.2 hill-climbing heuristic.
 func AllocHeuristic(p *AllocProblem, s AllocStrategy, seed int64) (Allocation, float64, error) {
 	return chanalloc.Heuristic(p, s, seed)
+}
+
+// AllocMultiStart runs the parallel multi-start hill climb: the Fig 14
+// smart seed plus Restarts-1 random seeds, cheapest local minimum wins.
+// A fixed seed yields the same allocation at any Parallelism.
+func AllocMultiStart(p *AllocProblem, seed int64) (Allocation, float64, error) {
+	return chanalloc.MultiStart(p, seed)
 }
 
 // Workload generation.
