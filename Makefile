@@ -26,9 +26,9 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Runs the solver-engine and channel-allocation benchmarks and records
-# them as JSON for committing alongside the code (see DESIGN.md "Solver
-# engine").
+# Runs the solver-engine, channel-allocation and dissemination-engine
+# benchmarks and records them as JSON for committing alongside the code
+# (see DESIGN.md "Solver engine" and "Dissemination engine").
 bench-save:
 	$(GO) test -run - \
 		-bench 'BenchmarkPairMerge$$|BenchmarkPairMergeHeap|BenchmarkPairMergeTable|BenchmarkPairMergeNaive|BenchmarkDirectedSearchParallel|BenchmarkClusteringParallel' \
@@ -38,15 +38,27 @@ bench-save:
 		-bench 'BenchmarkInitialDistribution|BenchmarkHillClimb|BenchmarkHeuristic|BenchmarkMultiStart' \
 		-benchmem -benchtime 1x ./internal/chanalloc \
 		| $(GO) run ./cmd/benchjson -o BENCH_chanalloc.json
+	{ $(GO) test -run - \
+		-bench 'BenchmarkPublishFull|BenchmarkPublishDelta' \
+		-benchmem -benchtime 2x ./internal/server; \
+	  $(GO) test -run - \
+		-bench 'BenchmarkClientHandle' \
+		-benchmem -benchtime 200x ./internal/client; \
+	  $(GO) test -run - \
+		-bench 'BenchmarkMarshalMessage' \
+		-benchmem -benchtime 500x ./internal/wire; } \
+		| $(GO) run ./cmd/benchjson -o BENCH_publish.json
 
 # Diffs a fresh bench-save against the committed baselines, failing on
 # >20% time/op or allocs/op regressions.
 bench-compare:
 	cp BENCH_solvers.json /tmp/BENCH_solvers.baseline.json
 	cp BENCH_chanalloc.json /tmp/BENCH_chanalloc.baseline.json
+	cp BENCH_publish.json /tmp/BENCH_publish.baseline.json
 	$(MAKE) bench-save
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_solvers.baseline.json BENCH_solvers.json
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_chanalloc.baseline.json BENCH_chanalloc.json
+	$(GO) run ./cmd/benchjson compare /tmp/BENCH_publish.baseline.json BENCH_publish.json
 
 # Regenerates every table and figure (see EXPERIMENTS.md).
 experiments:

@@ -50,38 +50,79 @@ type QueryStats struct {
 	Messages int
 }
 
+// entry is one subscription's extractor state: the query, its accumulated
+// answer, its stats, and the per-message scratch counters Handle folds
+// into the stats after each extraction pass. Entries live in a slice
+// sorted by query id, so the per-tuple hot loop touches contiguous
+// structs instead of hashing into three parallel maps.
+type entry struct {
+	q      query.Query
+	answer map[uint64]relation.Tuple
+	stats  QueryStats
+	// Per-message scratch, always zeroed between Handle calls.
+	scratchBytes   int
+	scratchTouched bool
+}
+
 // Client consumes one subscription and maintains answers per query.
 // Methods are safe for concurrent use with a running Consume loop.
 type Client struct {
 	id int
 
-	mu       sync.Mutex
-	queries  map[query.ID]query.Query
-	answers  map[query.ID]map[uint64]relation.Tuple
-	perQuery map[query.ID]QueryStats
-	cache    map[uint64]bool
-	caching  bool
-	lastSeq  uint64
-	stats    Stats
+	mu      sync.Mutex
+	entries []entry // sorted by entry.q.ID
+	cache   map[uint64]bool
+	caching bool
+	lastSeq uint64
+	stats   Stats
+	// resolved is Handle's per-message scratch mapping the header's
+	// query ids to entry indices (-1 when the id is not subscribed);
+	// reused across messages so steady-state handling does not allocate.
+	resolved []int
 }
 
 // New creates a client with the given id and subscription queries.
 func New(id int, qs ...query.Query) *Client {
-	c := &Client{
-		id:       id,
-		queries:  make(map[query.ID]query.Query),
-		answers:  make(map[query.ID]map[uint64]relation.Tuple),
-		perQuery: make(map[query.ID]QueryStats),
-	}
+	c := &Client{id: id}
 	for _, q := range qs {
-		c.queries[q.ID] = q
-		c.answers[q.ID] = make(map[uint64]relation.Tuple)
+		c.addQueryLocked(q)
 	}
 	return c
 }
 
 // ID returns the client identifier used in message headers.
 func (c *Client) ID() int { return c.id }
+
+// find returns the index of the entry for the query id, or -1.
+func (c *Client) find(id query.ID) int {
+	lo, hi := 0, len(c.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.entries[mid].q.ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.entries) && c.entries[lo].q.ID == id {
+		return lo
+	}
+	return -1
+}
+
+// addQueryLocked inserts or replaces the entry for q, keeping the slice
+// sorted by id. Replacing keeps the accumulated answer and stats, like
+// re-registering a query always has.
+func (c *Client) addQueryLocked(q query.Query) {
+	if i := c.find(q.ID); i >= 0 {
+		c.entries[i].q = q
+		return
+	}
+	i := sort.Search(len(c.entries), func(i int) bool { return c.entries[i].q.ID > q.ID })
+	c.entries = append(c.entries, entry{})
+	copy(c.entries[i+1:], c.entries[i:])
+	c.entries[i] = entry{q: q, answer: make(map[uint64]relation.Tuple)}
+}
 
 // EnableCache turns on the object cache: tuples already received (by id)
 // are recognized and counted as cache hits instead of being re-stored.
@@ -98,19 +139,16 @@ func (c *Client) EnableCache() {
 func (c *Client) AddQuery(q query.Query) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.queries[q.ID] = q
-	if c.answers[q.ID] == nil {
-		c.answers[q.ID] = make(map[uint64]relation.Tuple)
-	}
+	c.addQueryLocked(q)
 }
 
 // RemoveQuery drops a subscription query and its accumulated answer.
 func (c *Client) RemoveQuery(id query.ID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	delete(c.queries, id)
-	delete(c.answers, id)
-	delete(c.perQuery, id)
+	if i := c.find(id); i >= 0 {
+		c.entries = append(c.entries[:i], c.entries[i+1:]...)
+	}
 }
 
 // Handle processes one message: filtering, extraction, accounting.
@@ -125,7 +163,7 @@ func (c *Client) Handle(msg multicast.Message) {
 		c.lastSeq = msg.Seq
 	}
 
-	entry, addressed := msg.EntryFor(c.id)
+	hdr, addressed := msg.EntryFor(c.id)
 	payload := msg.PayloadBytes()
 	if !addressed {
 		c.stats.FilteredBytes += payload
@@ -133,10 +171,18 @@ func (c *Client) Handle(msg multicast.Message) {
 	}
 	c.stats.MessagesAddressed++
 
+	// Resolve the header's query ids against the sorted entries once per
+	// message; the per-tuple loop then walks plain indices.
+	resolved := c.resolved[:0]
+	for _, qid := range hdr.QueryIDs {
+		resolved = append(resolved, c.find(qid))
+	}
+	c.resolved = resolved
+
 	for _, removed := range msg.Removed {
-		for _, qid := range entry.QueryIDs {
-			if m := c.answers[qid]; m != nil {
-				delete(m, removed)
+		for _, ei := range resolved {
+			if ei >= 0 {
+				delete(c.entries[ei].answer, removed)
 			}
 		}
 		if c.caching {
@@ -145,12 +191,14 @@ func (c *Client) Handle(msg multicast.Message) {
 	}
 
 	relevant := 0
-	touched := map[query.ID]bool{}
 	for _, t := range msg.Tuples {
 		used := false
-		for _, qid := range entry.QueryIDs {
-			q, ok := c.queries[qid]
-			if !ok || !q.Matches(t) {
+		for _, ei := range resolved {
+			if ei < 0 {
+				continue
+			}
+			e := &c.entries[ei]
+			if !e.q.Matches(t) {
 				continue
 			}
 			used = true
@@ -158,14 +206,12 @@ func (c *Client) Handle(msg multicast.Message) {
 				c.stats.CacheHits++
 			}
 			stored := t
-			if q.Project != nil {
-				stored.Payload = q.Project(t.Payload)
+			if e.q.Project != nil {
+				stored.Payload = e.q.Project(t.Payload)
 			}
-			c.answers[qid][t.ID] = stored
-			qs := c.perQuery[qid]
-			qs.BytesReceived += t.Size()
-			c.perQuery[qid] = qs
-			touched[qid] = true
+			e.answer[t.ID] = stored
+			e.scratchBytes += t.Size()
+			e.scratchTouched = true
 		}
 		if used {
 			relevant += t.Size()
@@ -174,11 +220,18 @@ func (c *Client) Handle(msg multicast.Message) {
 			}
 		}
 	}
-	for qid := range touched {
-		qs := c.perQuery[qid]
-		qs.Messages++
-		qs.Tuples = len(c.answers[qid])
-		c.perQuery[qid] = qs
+	for _, ei := range resolved {
+		if ei < 0 {
+			continue
+		}
+		e := &c.entries[ei]
+		if e.scratchTouched {
+			e.stats.Messages++
+			e.stats.BytesReceived += e.scratchBytes
+			e.stats.Tuples = len(e.answer)
+			e.scratchBytes = 0
+			e.scratchTouched = false
+		}
 	}
 	c.stats.RelevantBytes += relevant
 	c.stats.IrrelevantBytes += payload - relevant
@@ -198,7 +251,11 @@ func (c *Client) Consume(sub *multicast.Subscription) {
 func (c *Client) Answer(id query.ID) []relation.Tuple {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	m := c.answers[id]
+	i := c.find(id)
+	if i < 0 {
+		return []relation.Tuple{}
+	}
+	m := c.entries[i].answer
 	out := make([]relation.Tuple, 0, len(m))
 	for _, t := range m {
 		out = append(out, t)
@@ -211,11 +268,10 @@ func (c *Client) Answer(id query.ID) []relation.Tuple {
 func (c *Client) Queries() []query.Query {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]query.Query, 0, len(c.queries))
-	for _, q := range c.queries {
-		out = append(out, q)
+	out := make([]query.Query, 0, len(c.entries))
+	for i := range c.entries {
+		out = append(out, c.entries[i].q)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -230,9 +286,11 @@ func (c *Client) Stats() Stats {
 func (c *Client) QueryStatsFor(id query.ID) QueryStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	qs := c.perQuery[id]
-	if m := c.answers[id]; m != nil {
-		qs.Tuples = len(m)
+	i := c.find(id)
+	if i < 0 {
+		return QueryStats{}
 	}
+	qs := c.entries[i].stats
+	qs.Tuples = len(c.entries[i].answer)
 	return qs
 }

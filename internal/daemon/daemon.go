@@ -338,8 +338,13 @@ func (d *Daemon) bind(sess *session, channel int) error {
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
+		// One encode buffer per forwarder: send writes the frame before
+		// returning, so the buffer can be reused for the next message
+		// without allocating in steady state.
+		var buf []byte
 		for msg := range sub.C {
-			if err := sess.send(wire.TypeAnswer, wire.MarshalMessage(msg)); err != nil {
+			buf = wire.MarshalMessageAppend(buf[:0], msg)
+			if err := sess.send(wire.TypeAnswer, buf); err != nil {
 				sub.Cancel()
 				return
 			}

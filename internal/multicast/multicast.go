@@ -112,8 +112,12 @@ type Network struct {
 	mu     sync.Mutex
 	rng    *rand.Rand
 	seqs   []uint64
-	subs   [][]*Subscription
 	closed bool
+	// subs holds each channel's subscriber list as an immutable
+	// snapshot: Subscribe, Cancel and Close install freshly built slices
+	// and never mutate one in place, so Publish can deliver from the
+	// snapshot it read under mu without copying it per message.
+	subs [][]*Subscription
 
 	messagesPublished     atomic.Uint64
 	payloadBytesSent      atomic.Uint64
@@ -183,7 +187,10 @@ func (s *Subscription) Cancel() {
 		subs := s.net.subs[s.channel]
 		for i, sub := range subs {
 			if sub == s {
-				s.net.subs[s.channel] = append(subs[:i], subs[i+1:]...)
+				next := make([]*Subscription, 0, len(subs)-1)
+				next = append(next, subs[:i]...)
+				next = append(next, subs[i+1:]...)
+				s.net.subs[s.channel] = next
 				break
 			}
 		}
@@ -209,7 +216,11 @@ func (n *Network) Subscribe(channel, buffer int) (*Subscription, error) {
 	}
 	ch := make(chan Message, buffer)
 	sub := &Subscription{C: ch, net: n, channel: channel, ch: ch}
-	n.subs[channel] = append(n.subs[channel], sub)
+	subs := n.subs[channel]
+	next := make([]*Subscription, 0, len(subs)+1)
+	next = append(next, subs...)
+	next = append(next, sub)
+	n.subs[channel] = next
 	return sub, nil
 }
 
@@ -229,7 +240,9 @@ func (n *Network) Publish(msg Message) error {
 	}
 	n.seqs[msg.Channel]++
 	msg.Seq = n.seqs[msg.Channel]
-	targets := append([]*Subscription(nil), n.subs[msg.Channel]...)
+	// Subscriber lists are immutable snapshots (see the subs field), so
+	// the steady-state publish path delivers without copying the list.
+	targets := n.subs[msg.Channel]
 	var drop []bool
 	if n.lossRate > 0 {
 		drop = make([]bool, len(targets))

@@ -1,0 +1,203 @@
+package relation
+
+import (
+	"math"
+	"slices"
+	"sort"
+
+	"qsub/internal/geom"
+)
+
+// DeltaIndex is a point-in-time snapshot of one dissemination period's
+// churn: the tuples inserted since a watermark and the deletions
+// journaled since it, with a small transient grid built over just the
+// inserted batch. The continuous-mode server builds one DeltaIndex per
+// cycle and lets every merged query probe the batch instead of
+// re-searching the whole relation, so per-cycle cost scales with the
+// update volume rather than the region size (§11 continuous scenario).
+//
+// A DeltaIndex owns copies of its tuples and is immutable after Delta
+// returns: it is safe for concurrent use by the publish worker pool and
+// stays valid across later relation mutations.
+type DeltaIndex struct {
+	since    uint64
+	inserted []Tuple // live tuples with ID > since, ascending id
+	deleted  []Tuple // journaled deletions with seq > since, deletion order
+
+	// Transient uniform grid over inserted in counting-sort (CSR)
+	// layout — cell c's tuple indices are cellItems[cellStart[c]:
+	// cellStart[c+1]] — so building it costs two passes and three
+	// allocations regardless of cell count. cellStart is nil when the
+	// batch is small enough that an ordered linear scan wins.
+	bounds    geom.Rect
+	nx, ny    int
+	cellStart []int32
+	cellItems []int32
+}
+
+// deltaGridMinBatch is the inserted-batch size below which probes scan
+// the batch linearly instead of through the transient grid: building and
+// walking grid cells only pays off once the batch outgrows a cache line
+// or two of tuples.
+const deltaGridMinBatch = 64
+
+// Delta snapshots the churn since the given watermark: every live tuple
+// with id greater than sinceID (in id order, as InsertedSince returns
+// them) and every journaled deletion past it. The snapshot is taken under
+// one read lock; the returned index does not alias relation storage.
+func (r *Relation) Delta(sinceID uint64) *DeltaIndex {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d := &DeltaIndex{since: sinceID, bounds: r.bounds}
+	first := sort.Search(len(r.tuples), func(i int) bool { return r.tuples[i].ID > sinceID })
+	if n := len(r.tuples) - first; n > 0 {
+		d.inserted = make([]Tuple, 0, n)
+		for i := first; i < len(r.tuples); i++ {
+			if !r.dead[i] {
+				d.inserted = append(d.inserted, r.tuples[i])
+			}
+		}
+	}
+	for _, del := range r.delLog {
+		if del.seq > sinceID {
+			d.deleted = append(d.deleted, del.t)
+		}
+	}
+	d.buildGrid()
+	return d
+}
+
+// buildGrid lays the transient grid over the inserted batch, sized so
+// cells hold a handful of tuples each under uniform spread.
+func (d *DeltaIndex) buildGrid() {
+	if len(d.inserted) < deltaGridMinBatch {
+		return
+	}
+	side := int(math.Sqrt(float64(len(d.inserted)) / 4))
+	if side < 2 {
+		side = 2
+	}
+	if side > 256 {
+		side = 256
+	}
+	d.nx, d.ny = side, side
+	start := make([]int32, side*side+1)
+	for _, t := range d.inserted {
+		start[d.cellOf(t.Pos)+1]++
+	}
+	for c := 1; c < len(start); c++ {
+		start[c] += start[c-1]
+	}
+	items := make([]int32, len(d.inserted))
+	fill := make([]int32, side*side)
+	copy(fill, start[:side*side])
+	for i, t := range d.inserted {
+		c := d.cellOf(t.Pos)
+		items[fill[c]] = int32(i)
+		fill[c]++
+	}
+	d.cellStart, d.cellItems = start, items
+}
+
+// cellOf mirrors gridIndex.cellOf: positions outside the nominal bounds
+// land in the nearest boundary cell.
+func (d *DeltaIndex) cellOf(p geom.Point) int {
+	cx := clampInt(int(float64(d.nx)*(p.X-d.bounds.MinX)/d.bounds.Width()), 0, d.nx-1)
+	cy := clampInt(int(float64(d.ny)*(p.Y-d.bounds.MinY)/d.bounds.Height()), 0, d.ny-1)
+	return cy*d.nx + cx
+}
+
+// Since returns the watermark the snapshot was taken against.
+func (d *DeltaIndex) Since() uint64 { return d.since }
+
+// Inserted returns the snapshot's inserted tuples in ascending id order.
+// The slice is owned by the index; callers must not modify it.
+func (d *DeltaIndex) Inserted() []Tuple { return d.inserted }
+
+// Deleted returns the snapshot's deleted tuples in deletion order. The
+// slice is owned by the index; callers must not modify it.
+func (d *DeltaIndex) Deleted() []Tuple { return d.deleted }
+
+// SearchAppend appends the inserted tuples lying inside the region to
+// buf, in ascending id order, and returns the extended slice — the delta
+// counterpart of Relation.SearchAppend. It is safe to call concurrently.
+func (d *DeltaIndex) SearchAppend(region geom.Region, buf []Tuple) []Tuple {
+	if len(d.inserted) == 0 {
+		return buf
+	}
+	br := region.BoundingRect()
+	if br.Empty() {
+		return buf
+	}
+	if d.cellStart == nil {
+		for _, t := range d.inserted {
+			if region.Contains(t.Pos) {
+				buf = append(buf, t)
+			}
+		}
+		return buf
+	}
+	x0 := clampInt(int(float64(d.nx)*(br.MinX-d.bounds.MinX)/d.bounds.Width()), 0, d.nx-1)
+	x1 := clampInt(int(float64(d.nx)*(br.MaxX-d.bounds.MinX)/d.bounds.Width()), 0, d.nx-1)
+	y0 := clampInt(int(float64(d.ny)*(br.MinY-d.bounds.MinY)/d.bounds.Height()), 0, d.ny-1)
+	y1 := clampInt(int(float64(d.ny)*(br.MaxY-d.bounds.MinY)/d.bounds.Height()), 0, d.ny-1)
+	start := len(buf)
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			c := cy*d.nx + cx
+			for _, i := range d.cellItems[d.cellStart[c]:d.cellStart[c+1]] {
+				if t := d.inserted[i]; region.Contains(t.Pos) {
+					buf = append(buf, t)
+				}
+			}
+		}
+	}
+	// Cells were visited in row order, not id order; restore id order on
+	// the appended tail only (entries already in buf are untouched).
+	tail := buf[start:]
+	slices.SortFunc(tail, func(a, b Tuple) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return buf
+}
+
+// MatchDeletedAppend matches every deleted tuple in the snapshot against
+// all given regions in one pass, appending the ids of the deletions
+// falling inside regions[i] to out[i] (in deletion order, the order
+// DeletedSince reports). out must have len(regions) entries; it is
+// returned for convenience. This replaces per-merged-group rescans of the
+// deletion journal with one cycle-wide pass.
+func (d *DeltaIndex) MatchDeletedAppend(regions []geom.Region, out [][]uint64) [][]uint64 {
+	for _, dt := range d.deleted {
+		for i, region := range regions {
+			if region.Contains(dt.Pos) {
+				out[i] = append(out[i], dt.ID)
+			}
+		}
+	}
+	return out
+}
+
+// SearchDeltaAppend appends every live tuple with id greater than sinceID
+// lying inside the region to buf, in ascending id order. It is the
+// one-shot form of Delta().SearchAppend for callers probing a single
+// region; servers probing many merged regions per cycle should build one
+// DeltaIndex and share it.
+func (r *Relation) SearchDeltaAppend(region geom.Region, sinceID uint64, buf []Tuple) []Tuple {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	first := sort.Search(len(r.tuples), func(i int) bool { return r.tuples[i].ID > sinceID })
+	for i := first; i < len(r.tuples); i++ {
+		if !r.dead[i] && region.Contains(r.tuples[i].Pos) {
+			buf = append(buf, r.tuples[i])
+		}
+	}
+	return buf
+}

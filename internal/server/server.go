@@ -19,6 +19,7 @@ import (
 	"qsub/internal/chanalloc"
 	"qsub/internal/core"
 	"qsub/internal/cost"
+	"qsub/internal/geom"
 	"qsub/internal/multicast"
 	"qsub/internal/query"
 	"qsub/internal/relation"
@@ -53,6 +54,13 @@ type Config struct {
 	// Restarts is the multi-start restart count (0 = the chanalloc
 	// default of 8); only used with chanalloc.MultiStartInit.
 	Restarts int
+	// NoDeltaIndex disables the delta-indexed publish path: PublishDelta
+	// re-executes every merged query against the full relation and
+	// filters by watermark afterwards, making per-cycle cost scale with
+	// region size instead of update volume. Kept as an ablation and as
+	// the correctness oracle the equivalence tests pin the delta index
+	// against.
+	NoDeltaIndex bool
 }
 
 // Server owns the subscription registry and the merge/publish cycle.
@@ -152,6 +160,82 @@ type Cycle struct {
 	// InitialCost is the model cost without any merging, for savings
 	// reports.
 	InitialCost float64
+
+	// msgPlans is the publish schedule: one entry per transmitted merged
+	// set, carrying everything about the message that is invariant
+	// across publish rounds (a cycle is planned once and published many
+	// times). Built once, lazily, under msgOnce.
+	msgOnce  sync.Once
+	msgPlans []msgPlan
+}
+
+// msgPlan precomputes the cycle-invariant parts of one published message:
+// the merged region the queries execute as, the addressed query set (the
+// transmission set plus any split-covered queries extracting from this
+// message), and the §3.1 header. Publish rounds only fill in the tuples.
+type msgPlan struct {
+	ch, si    int
+	set       []int
+	addressed []int
+	region    geom.Region
+	header    []multicast.HeaderEntry
+}
+
+// publishPlans builds (once) and returns the cycle's publish schedule.
+// Covered-extended addressed sets are materialized here instead of being
+// re-derived per message per round, and buildHeader's group-and-sort work
+// happens exactly once per cycle. Split-covered queries are appended in
+// ascending index order, making headers deterministic.
+func (cy *Cycle) publishPlans(proc query.MergeProcedure) []msgPlan {
+	cy.msgOnce.Do(func() { cy.buildMsgPlans(proc) })
+	return cy.msgPlans
+}
+
+func (cy *Cycle) buildMsgPlans(proc query.MergeProcedure) {
+	var members []query.Query
+	for ch, plan := range cy.ChannelPlans {
+		var coveredBy map[int][]int // set index -> covered query indices
+		if cy.ChannelCovered != nil && cy.ChannelCovered[ch] != nil {
+			coveredBy = make(map[int][]int)
+			for q, covers := range cy.ChannelCovered[ch] {
+				for _, c := range covers {
+					if c >= 0 && c < len(plan) {
+						coveredBy[c] = append(coveredBy[c], q)
+					}
+				}
+			}
+			for c, qs := range coveredBy {
+				sort.Ints(qs)
+				coveredBy[c] = compactInts(qs)
+			}
+		}
+		for si, set := range plan {
+			members = members[:0]
+			for _, qi := range set {
+				members = append(members, cy.Queries[qi])
+			}
+			mp := msgPlan{ch: ch, si: si, set: set, addressed: set, region: proc.Merge(members)}
+			if extra := coveredBy[si]; len(extra) > 0 {
+				addressed := make([]int, 0, len(set)+len(extra))
+				addressed = append(addressed, set...)
+				addressed = append(addressed, extra...)
+				mp.addressed = addressed
+			}
+			mp.header = buildHeader(cy, mp.addressed)
+			cy.msgPlans = append(cy.msgPlans, mp)
+		}
+	}
+}
+
+// compactInts removes adjacent duplicates from a sorted slice, in place.
+func compactInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // Plan snapshots the current subscriptions, runs channel allocation and
@@ -203,6 +287,7 @@ func (s *Server) Plan() (*Cycle, error) {
 		cy.ChannelPlans[0] = plan
 		cy.EstimatedCost = inst.Cost(plan)
 		s.applySplit(cy, len(clients))
+		cy.publishPlans(s.cfg.Procedure)
 		return cy, nil
 	}
 
@@ -236,6 +321,9 @@ func (s *Server) Plan() (*Cycle, error) {
 	}
 	cy.InitialCost = chanalloc.Cost(noMerge, alloc)
 	s.applySplit(cy, len(clients))
+	// Materialize the publish schedule (regions, addressed sets,
+	// headers) at plan time: it is invariant across publish rounds.
+	cy.publishPlans(s.cfg.Procedure)
 	return cy, nil
 }
 
@@ -309,31 +397,70 @@ func (s *Server) PublishDelta(cy *Cycle) (Report, error) {
 	return s.publish(cy, since, true)
 }
 
-// publish executes every merged query and publishes the results. Query
-// execution (the server-cost-dominating step) runs concurrently across
-// merged sets with one worker per CPU; messages are then published in
-// deterministic channel/set order.
-func (s *Server) publish(cy *Cycle, sinceID uint64, delta bool) (Report, error) {
-	type job struct {
-		ch, si int
-		set    []int
+// pubScratch holds the per-publish-round bookkeeping slices whose
+// backing arrays never escape into published messages, so they can be
+// pooled across rounds. The inner results/removed slices DO escape (they
+// ride inside Messages that subscribers may still be draining), so only
+// the outer arrays are reused and every entry is re-assigned (results)
+// or nilled (removed, on put) each round.
+type pubScratch struct {
+	results [][]relation.Tuple
+	removed [][]uint64
+	regions []geom.Region
+}
+
+var pubScratchPool = sync.Pool{New: func() any { return new(pubScratch) }}
+
+func getPubScratch(n int) *pubScratch {
+	sc := pubScratchPool.Get().(*pubScratch)
+	if cap(sc.results) < n {
+		sc.results = make([][]relation.Tuple, n)
+		sc.removed = make([][]uint64, n)
+		sc.regions = make([]geom.Region, n)
 	}
-	var jobs []job
-	for ch, plan := range cy.ChannelPlans {
-		for si, set := range plan {
-			jobs = append(jobs, job{ch: ch, si: si, set: set})
-		}
+	sc.results = sc.results[:n]
+	sc.removed = sc.removed[:n]
+	sc.regions = sc.regions[:n]
+	return sc
+}
+
+func putPubScratch(sc *pubScratch) {
+	for i := range sc.results {
+		sc.results[i] = nil
+		sc.removed[i] = nil
+		sc.regions[i] = nil
+	}
+	pubScratchPool.Put(sc)
+}
+
+// publish executes every merged query of the cycle's precomputed publish
+// schedule and publishes the results. Query execution (the
+// server-cost-dominating step) runs concurrently across merged sets with
+// one worker per CPU; messages are then published in deterministic
+// channel/set order with their cycle-scoped headers.
+//
+// In continuous mode (delta with an established watermark) the queries
+// probe a per-cycle relation.DeltaIndex over just the tuples inserted
+// since the watermark, so the round costs O(update volume) instead of
+// O(region size); Config.NoDeltaIndex restores the full-search ablation,
+// which the equivalence tests pin bit-identical. Deleted tuples are
+// snapshotted once per round and matched against every merged region in
+// one pass.
+func (s *Server) publish(cy *Cycle, sinceID uint64, delta bool) (Report, error) {
+	plans := cy.publishPlans(s.cfg.Procedure)
+	useDelta := delta && sinceID > 0
+	var di *relation.DeltaIndex
+	if useDelta {
+		di = s.rel.Delta(sinceID)
 	}
 
-	var deleted []relation.Tuple
-	if delta && sinceID > 0 {
-		deleted = s.rel.DeletedSince(sinceID)
-	}
-	results := make([][]relation.Tuple, len(jobs))
-	removed := make([][]uint64, len(jobs))
+	sc := getPubScratch(len(plans))
+	defer putPubScratch(sc)
+	results, removed := sc.results, sc.removed
+
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(plans) {
+		workers = len(plans)
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -341,24 +468,23 @@ func (s *Server) publish(cy *Cycle, sinceID uint64, delta bool) (Report, error) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Per-worker scratch: the member list is rebuilt per job in
-			// one reused buffer (merge procedures do not retain it), and
-			// query results append into a per-worker arena — each job's
-			// result is a capped sub-slice, so a growing append leaves
-			// earlier results intact on their old backing arrays.
-			var members []query.Query
+			// Per-worker arena: query results append into one buffer per
+			// worker — each job's result is a capped sub-slice, so a
+			// growing append leaves earlier results intact on their old
+			// backing arrays. The arena is NOT pooled across rounds:
+			// published messages alias it until subscribers drain them.
 			var tupleBuf []relation.Tuple
 			for idx := range next {
-				j := jobs[idx]
-				members = members[:0]
-				for _, qi := range j.set {
-					members = append(members, cy.Queries[qi])
-				}
-				region := s.cfg.Procedure.Merge(members)
+				region := plans[idx].region
 				start := len(tupleBuf)
-				tupleBuf = s.rel.SearchAppend(region, tupleBuf)
+				if useDelta && !s.cfg.NoDeltaIndex {
+					tupleBuf = di.SearchAppend(region, tupleBuf)
+				} else {
+					tupleBuf = s.rel.SearchAppend(region, tupleBuf)
+				}
 				tuples := tupleBuf[start:len(tupleBuf):len(tupleBuf)]
-				if delta && sinceID > 0 {
+				if useDelta && s.cfg.NoDeltaIndex {
+					// Ablation: full search, then watermark filter.
 					kept := tuples[:0]
 					for _, t := range tuples {
 						if t.ID > sinceID {
@@ -366,45 +492,37 @@ func (s *Server) publish(cy *Cycle, sinceID uint64, delta bool) (Report, error) 
 						}
 					}
 					tuples = kept
-					for _, dt := range deleted {
-						if region.Contains(dt.Pos) {
-							removed[idx] = append(removed[idx], dt.ID)
-						}
-					}
 				}
 				results[idx] = tuples
 			}
 		}()
 	}
-	for idx := range jobs {
+	for idx := range plans {
 		next <- idx
 	}
 	close(next)
 	wg.Wait()
 
-	var rep Report
-	for idx, j := range jobs {
-		// Split-covered queries extract from this message too.
-		addressed := j.set
-		if cy.ChannelCovered != nil && cy.ChannelCovered[j.ch] != nil {
-			for q, covers := range cy.ChannelCovered[j.ch] {
-				for _, c := range covers {
-					if c == j.si {
-						addressed = append(append([]int{}, addressed...), q)
-						break
-					}
-				}
-			}
+	if useDelta && len(di.Deleted()) > 0 {
+		regions := sc.regions
+		for i := range plans {
+			regions[i] = plans[i].region
 		}
+		di.MatchDeletedAppend(regions, removed)
+	}
+
+	var rep Report
+	for idx := range plans {
+		mp := &plans[idx]
 		msg := multicast.Message{
-			Channel: j.ch,
+			Channel: mp.ch,
 			Tuples:  results[idx],
-			Header:  buildHeader(cy, addressed),
+			Header:  mp.header,
 			Delta:   delta,
 			Removed: removed[idx],
 		}
 		if err := s.net.Publish(msg); err != nil {
-			return rep, fmt.Errorf("server: publish on channel %d: %w", j.ch, err)
+			return rep, fmt.Errorf("server: publish on channel %d: %w", mp.ch, err)
 		}
 		rep.Messages++
 		rep.PayloadBytes += msg.PayloadBytes()

@@ -351,9 +351,19 @@ func UnmarshalError(b []byte) (Error, error) {
 	return out, d.done()
 }
 
-// MarshalMessage encodes a multicast answer message.
+// MarshalMessage encodes a multicast answer message into a fresh slice.
 func MarshalMessage(m multicast.Message) []byte {
-	var e encoder
+	return MarshalMessageAppend(nil, m)
+}
+
+// MarshalMessageAppend appends the encoding of a multicast answer message
+// to buf and returns the extended slice. The returned slice aliases buf's
+// backing array (when capacity allows), so steady-state senders can reuse
+// one per-connection buffer — `buf = MarshalMessageAppend(buf[:0], msg)` —
+// and encode without allocating, provided the previous frame has been
+// fully written before the buffer is reused.
+func MarshalMessageAppend(buf []byte, m multicast.Message) []byte {
+	e := encoder{buf: buf}
 	e.u32(uint32(m.Channel))
 	e.u64(m.Seq)
 	if m.Delta {

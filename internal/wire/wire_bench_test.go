@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"qsub/internal/geom"
+	"qsub/internal/multicast"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+)
+
+func benchMsg() multicast.Message {
+	rng := rand.New(rand.NewSource(3))
+	tuples := make([]relation.Tuple, 500)
+	for i := range tuples {
+		tuples[i] = relation.Tuple{ID: uint64(i + 1), Pos: geom.Pt(rng.Float64(), rng.Float64()), Payload: []byte("payload")}
+	}
+	return multicast.Message{Channel: 2, Seq: 9, Delta: true, Tuples: tuples,
+		Header: []multicast.HeaderEntry{
+			{ClientID: 1, QueryIDs: []query.ID{1, 2}},
+			{ClientID: 2, QueryIDs: []query.ID{3}},
+		},
+		Removed: []uint64{4, 5}}
+}
+
+func TestMarshalMessageAppendMatchesMarshalMessage(t *testing.T) {
+	m := benchMsg()
+	fresh := MarshalMessage(m)
+	appended := MarshalMessageAppend(nil, m)
+	if !bytes.Equal(fresh, appended) {
+		t.Fatal("MarshalMessageAppend(nil, m) differs from MarshalMessage(m)")
+	}
+	// Appending after a prefix preserves the prefix and the encoding.
+	prefix := []byte{0xde, 0xad}
+	out := MarshalMessageAppend(append([]byte(nil), prefix...), m)
+	if !bytes.Equal(out[:2], prefix) {
+		t.Fatal("prefix clobbered")
+	}
+	if !bytes.Equal(out[2:], fresh) {
+		t.Fatal("encoding after prefix differs")
+	}
+	// Round trip through the decoder.
+	got, err := UnmarshalMessage(out[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != m.Seq || len(got.Tuples) != len(m.Tuples) || !got.Delta {
+		t.Fatalf("round trip mangled the message: %+v", got)
+	}
+}
+
+// TestMarshalMessageAppendZeroAlloc pins the buffer-reuse contract: once
+// the buffer has grown to frame size, steady-state encoding allocates
+// nothing.
+func TestMarshalMessageAppendZeroAlloc(t *testing.T) {
+	m := benchMsg()
+	buf := MarshalMessageAppend(nil, m)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = MarshalMessageAppend(buf[:0], m)
+	})
+	if allocs != 0 {
+		t.Fatalf("MarshalMessageAppend with warm buffer: %v allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkMarshalMessage is the fresh-allocation encoder baseline.
+func BenchmarkMarshalMessage(b *testing.B) {
+	m := benchMsg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MarshalMessage(m)
+	}
+}
+
+// BenchmarkMarshalMessageAppend is the steady-state encoder: one reused
+// buffer per connection, as the daemon's forwarders encode.
+func BenchmarkMarshalMessageAppend(b *testing.B) {
+	m := benchMsg()
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = MarshalMessageAppend(buf[:0], m)
+	}
+}
