@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-save bench-compare check experiments fuzz clean
+.PHONY: all build test race bench bench-save bench-compare check cover experiments fuzz clean
+
+# Coverage floor for the observability layer: the metrics registry is
+# the contract every hot path leans on, so its package stays near-fully
+# covered.
+METRICS_COVER_FLOOR := 85.0
 
 all: build test
 
@@ -22,6 +27,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Coverage report with a hard floor on internal/metrics (see
+# METRICS_COVER_FLOOR above). The full-repo profile is informational;
+# only the metrics package gates.
+cover:
+	$(GO) test -coverprofile=/tmp/qsub-cover.out ./...
+	$(GO) tool cover -func=/tmp/qsub-cover.out | tail -1
+	$(GO) test -coverprofile=/tmp/qsub-metrics-cover.out ./internal/metrics
+	@total=$$($(GO) tool cover -func=/tmp/qsub-metrics-cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/metrics coverage: $$total% (floor $(METRICS_COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v floor="$(METRICS_COVER_FLOOR)" 'BEGIN { exit (t+0 < floor+0) ? 1 : 0 }' \
+		|| { echo "FAIL: internal/metrics coverage below floor"; exit 1; }
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

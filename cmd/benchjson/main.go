@@ -30,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -44,14 +46,31 @@ type Result struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Document is the saved file: environment header plus the results.
+// Document is the saved file: environment header plus the results. The
+// run metadata (toolchain, parallelism, host commit) makes committed
+// baselines interpretable across machines; compare matches benchmarks
+// by name only, so differing metadata never affects regression checks.
 type Document struct {
 	Goos       string   `json:"goos,omitempty"`
 	Goarch     string   `json:"goarch,omitempty"`
 	Pkg        string   `json:"pkg,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	GoVersion  string   `json:"go_version,omitempty"`
+	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
+	NumCPU     int      `json:"num_cpu,omitempty"`
+	Commit     string   `json:"commit,omitempty"`
 	Notes      string   `json:"notes,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
+}
+
+// gitCommit returns the short head commit, best-effort: benchmarks may
+// run outside a checkout, so failures simply leave the field empty.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func main() {
@@ -63,7 +82,13 @@ func main() {
 	notes := flag.String("notes", "", "free-form note stored in the document header")
 	flag.Parse()
 
-	doc := Document{Notes: *notes}
+	doc := Document{
+		Notes:      *notes,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Commit:     gitCommit(),
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {

@@ -6,6 +6,7 @@
 //
 //	qsubd -listen :7070 -channels 3 -tuples 20000 -period 2s
 //	qsubd -listen :7070 -delta          # ship per-period deltas (§11)
+//	qsubd -listen :7070 -admin :7071    # expose /metrics, /statusz, pprof
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +45,7 @@ func main() {
 		traceOut = flag.String("trace", "", "record control-plane events as JSON lines to this file")
 		subsFile = flag.String("subs", "", "restore subscriptions from this file at start; save to it on SIGINT/SIGTERM")
 		feed     = flag.Int("feed", 0, "insert this many new objects per cycle (continuous-feed mode)")
+		admin    = flag.String("admin", "", "serve the admin endpoint (/metrics, /healthz, /statusz, /debug/pprof) on this address")
 	)
 	flag.Parse()
 
@@ -86,6 +89,19 @@ func main() {
 		defer f.Close()
 		d.Trace = trace.NewRecorder(f, func() int64 { return time.Now().UnixMilli() })
 		log.Printf("qsubd: tracing control-plane events to %s", *traceOut)
+	}
+
+	if *admin != "" {
+		aln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("qsubd: admin endpoint on http://%s (/metrics, /healthz, /statusz, /debug/pprof)", aln.Addr())
+		go func() {
+			if err := (&http.Server{Handler: d.AdminMux()}).Serve(aln); err != nil {
+				log.Printf("qsubd: admin endpoint: %v", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *listen)

@@ -18,6 +18,7 @@ import (
 
 	"qsub/internal/cost"
 	"qsub/internal/experiment"
+	"qsub/internal/metrics"
 )
 
 // csvDir, when set, receives one CSV file per experiment series.
@@ -51,9 +52,15 @@ func main() {
 		qpc      = flag.Int("qpc", 2, "queries per client for the channel allocation experiment")
 		seed     = flag.Int64("seed", 1, "base workload seed")
 		parallel = flag.Int("parallel", 0, "worker-pool size for the parallel solvers (0 = GOMAXPROCS, 1 = sequential)")
+		dumpMet  = flag.Bool("metrics", false, "dump solver instrumentation (Prometheus text format) after the run")
 	)
 	flag.StringVar(&csvDir, "csv", "", "also write raw series as CSV files into this directory")
 	flag.Parse()
+	if *dumpMet {
+		// Channel-indexed vecs stay empty (the simulator never
+		// publishes); solver and allocator counters are what matter here.
+		experiment.Metrics = metrics.NewCatalog(0)
+	}
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			fatal(err)
@@ -101,6 +108,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "qsubsim: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *dumpMet {
+		fmt.Println()
+		fmt.Println("# solver instrumentation")
+		if err := experiment.Metrics.Registry.WritePrometheus(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -4,25 +4,72 @@
 //
 // Usage:
 //
-//	qsubtrace trace.jsonl
+//	qsubtrace trace.jsonl            # human-readable report
+//	qsubtrace summary trace.jsonl    # machine-readable JSON aggregate
 //	qsubd -trace trace.jsonl ... ; qsubtrace trace.jsonl
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"qsub/internal/metrics"
 	"qsub/internal/trace"
 )
 
-func main() {
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: qsubtrace <trace.jsonl>")
-		os.Exit(2)
+// Summary is the JSON document `qsubtrace summary` emits: the trace
+// reduced to per-kind counts, the publish totals, and the drift/replan
+// picture. LastMetrics is the final metrics snapshot embedded in the
+// trace (plan and drift events carry one), giving the cumulative
+// instrument state at the end of the recorded run — the same
+// metrics.Snapshot shape /statusz serves live.
+type Summary struct {
+	Events       int                `json:"events"`
+	Kinds        map[trace.Kind]int `json:"kinds"`
+	Plans        int                `json:"plans"`
+	ReplanRate   float64            `json:"replanRate"` // plans per publish cycle
+	Messages     int                `json:"messages"`
+	Tuples       int                `json:"tuples"`
+	PayloadBytes int                `json:"payloadBytes"`
+	DeltaShare   float64            `json:"deltaShare"` // delta publishes / publishes
+	MaxDrift     float64            `json:"maxDrift"`
+	LastMetrics  *metrics.Snapshot  `json:"lastMetrics,omitempty"`
+}
+
+// summarize reduces a trace to its Summary document.
+func summarize(events []trace.Event) Summary {
+	s := Summary{Events: len(events), Kinds: trace.Summarize(events)}
+	deltas := 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case trace.KindPublish:
+			s.Messages += ev.Messages
+			s.Tuples += ev.Tuples
+			s.PayloadBytes += ev.PayloadBytes
+			if ev.Delta {
+				deltas++
+			}
+		case trace.KindDrift:
+			if ev.Drift > s.MaxDrift {
+				s.MaxDrift = ev.Drift
+			}
+		}
+		if ev.Metrics != nil {
+			s.LastMetrics = ev.Metrics
+		}
 	}
-	f, err := os.Open(flag.Arg(0))
+	s.Plans = s.Kinds[trace.KindPlan]
+	if pubs := s.Kinds[trace.KindPublish]; pubs > 0 {
+		s.ReplanRate = float64(s.Plans) / float64(pubs)
+		s.DeltaShare = float64(deltas) / float64(pubs)
+	}
+	return s
+}
+
+func readTrace(path string) []trace.Event {
+	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
 	}
@@ -31,6 +78,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	return events
+}
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 2 && args[0] == "summary" {
+		events := readTrace(args[1])
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summarize(events)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qsubtrace [summary] <trace.jsonl>")
+		os.Exit(2)
+	}
+	events := readTrace(args[0])
 	if len(events) == 0 {
 		fmt.Println("empty trace")
 		return

@@ -28,7 +28,24 @@ import (
 	"sync"
 
 	"qsub/internal/core"
+	"qsub/internal/metrics"
 )
+
+// AllocMetrics bundles the nil-safe instrument handles the allocators
+// report into. Every field may be nil; a nil *AllocMetrics disables
+// allocator instrumentation at the cost of one branch per site.
+type AllocMetrics struct {
+	// Restarts counts MultiStart restarts executed.
+	Restarts *metrics.Counter
+	// SmartWins / RandomWins count which seed won a MultiStart run:
+	// restart 0 is the Fig 14 smart init, the rest are random.
+	SmartWins  *metrics.Counter
+	RandomWins *metrics.Counter
+	// GroupCacheHits / GroupCacheMisses track the shared group-cost
+	// cache; a miss means a full per-channel merge solve ran.
+	GroupCacheHits   *metrics.Counter
+	GroupCacheMisses *metrics.Counter
+}
 
 // Problem is one channel allocation instance. Clients are sets of query
 // indices into the merging instance; Channels is the number of physical
@@ -56,6 +73,10 @@ type Problem struct {
 	// Restarts is the number of MultiStart restarts; zero means the
 	// default of 8.
 	Restarts int
+
+	// Metrics optionally instruments the allocators; nil runs
+	// uninstrumented. Set before the first allocator call.
+	Metrics *AllocMetrics
 
 	// TableScan makes InitialDistribution select pairs by rescanning
 	// the full pair table every step instead of popping the lazy
@@ -150,8 +171,9 @@ func ChannelCost(p *Problem, clients []int) (float64, core.Plan) {
 // subInstance restricts the merging instance to the given queries.
 func subInstance(inst *core.Instance, members []int) *core.Instance {
 	sub := &core.Instance{
-		N:     len(members),
-		Model: inst.Model,
+		N:       len(members),
+		Model:   inst.Model,
+		Metrics: inst.Metrics,
 	}
 	sub.Sizer = remapSizer{inner: inst, members: members}
 	if inst.Overlap != nil {

@@ -196,8 +196,14 @@ func (ctx *evalCtx) groupCost(qs cost.QSet, listeners int) float64 {
 	}
 	if !ctx.p.NaiveRecompute {
 		if v, ok := ctx.eng.cache.get(qs, listeners); ok {
+			if am := ctx.p.Metrics; am != nil {
+				am.GroupCacheHits.Inc()
+			}
 			return v
 		}
+	}
+	if am := ctx.p.Metrics; am != nil {
+		am.GroupCacheMisses.Inc()
 	}
 	ctx.members = qs.AppendIndices(ctx.members[:0])
 	v := solveGroupCost(ctx.p, ctx.members, listeners)

@@ -391,6 +391,14 @@ func MultiStart(p *Problem, seed int64) (Allocation, float64, error) {
 			best = run
 		}
 	}
+	if am := p.Metrics; am != nil {
+		am.Restarts.Add(uint64(t))
+		if best == 0 {
+			am.SmartWins.Inc()
+		} else {
+			am.RandomWins.Inc()
+		}
+	}
 	return allocs[best], costs[best], nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 
+	"qsub/internal/metrics"
 	"qsub/internal/multicast"
 	"qsub/internal/query"
 	"qsub/internal/relation"
@@ -79,6 +80,10 @@ type Client struct {
 	// query ids to entry indices (-1 when the id is not subscribed);
 	// reused across messages so steady-state handling does not allocate.
 	resolved []int
+
+	// Optional nil-safe extractor instrumentation (see SetMetrics).
+	mKept     *metrics.Counter
+	mFiltered *metrics.Counter
 }
 
 // New creates a client with the given id and subscription queries.
@@ -92,6 +97,17 @@ func New(id int, qs ...query.Query) *Client {
 
 // ID returns the client identifier used in message headers.
 func (c *Client) ID() int { return c.id }
+
+// SetMetrics attaches extractor counters: kept accumulates tuples at
+// least one query matched, filtered counts messages discarded as
+// unaddressed. Either may be nil; the handles are allocation-free, so
+// the Handle zero-alloc pin holds with metrics enabled.
+func (c *Client) SetMetrics(kept, filtered *metrics.Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mKept = kept
+	c.mFiltered = filtered
+}
 
 // find returns the index of the entry for the query id, or -1.
 func (c *Client) find(id query.ID) int {
@@ -167,6 +183,7 @@ func (c *Client) Handle(msg multicast.Message) {
 	payload := msg.PayloadBytes()
 	if !addressed {
 		c.stats.FilteredBytes += payload
+		c.mFiltered.Inc()
 		return
 	}
 	c.stats.MessagesAddressed++
@@ -191,6 +208,7 @@ func (c *Client) Handle(msg multicast.Message) {
 	}
 
 	relevant := 0
+	var kept uint64
 	for _, t := range msg.Tuples {
 		used := false
 		for _, ei := range resolved {
@@ -215,10 +233,14 @@ func (c *Client) Handle(msg multicast.Message) {
 		}
 		if used {
 			relevant += t.Size()
+			kept++
 			if c.caching {
 				c.cache[t.ID] = true
 			}
 		}
+	}
+	if kept > 0 {
+		c.mKept.Add(kept)
 	}
 	for _, ei := range resolved {
 		if ei < 0 {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"qsub/internal/geom"
+	"qsub/internal/metrics"
 	"qsub/internal/multicast"
 	"qsub/internal/query"
 	"qsub/internal/relation"
@@ -233,6 +234,20 @@ func TestHandleSteadyStateAllocs(t *testing.T) {
 	c.Handle(addressed) // populate the answer maps for these tuples
 	if allocs := testing.AllocsPerRun(100, func() { c.Handle(addressed) }); allocs != 0 {
 		t.Fatalf("addressed message with warm maps: %v allocs/op, want 0", allocs)
+	}
+
+	// The same pins must hold with extractor metrics enabled: the
+	// counter handles are one branch plus an atomic add, never heap.
+	cat := metrics.NewCatalog(1)
+	c.SetMetrics(cat.ClientKeptTuples, cat.ClientFilteredMessages)
+	if allocs := testing.AllocsPerRun(100, func() { c.Handle(filtered) }); allocs != 0 {
+		t.Fatalf("filtered message with metrics: %v allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { c.Handle(addressed) }); allocs != 0 {
+		t.Fatalf("addressed message with metrics: %v allocs/op, want 0", allocs)
+	}
+	if cat.ClientFilteredMessages.Load() == 0 || cat.ClientKeptTuples.Load() == 0 {
+		t.Fatal("metrics counters did not advance during the pinned runs")
 	}
 }
 

@@ -114,6 +114,9 @@ func (c Clustering) Solve(inst *Instance) Plan {
 	sort.Slice(components, func(a, b int) bool {
 		return components[a][0] < components[b][0]
 	})
+	if sm := inst.Metrics; sm != nil {
+		sm.Components.Add(uint64(len(components)))
+	}
 
 	// Solve every multi-query component on the pool; singletons pass
 	// through.
@@ -185,8 +188,9 @@ func runIndexed(n, workers int, fn func(int)) {
 // 0..len(members)-1.
 func subInstance(inst *Instance, members []int) *Instance {
 	sub := &Instance{
-		N:     len(members),
-		Model: inst.Model,
+		N:       len(members),
+		Model:   inst.Model,
+		Metrics: inst.Metrics,
 		Sizer: cost.Func{
 			SizeFn: func(i int) float64 { return inst.Sizer.Size(members[i]) },
 			MergedFn: func(set []int) float64 {

@@ -25,7 +25,27 @@ import (
 	"strings"
 
 	"qsub/internal/cost"
+	"qsub/internal/metrics"
 )
+
+// SolverMetrics bundles the nil-safe instrument handles the solver
+// engines report into. Every field may be nil (that aspect goes
+// uncounted), and a nil *SolverMetrics disables solver instrumentation
+// entirely at the cost of one branch per solve. Engines accumulate
+// counts locally and flush once per solve, so the hot loops stay
+// allocation- and atomic-free.
+type SolverMetrics struct {
+	// HeapPops counts candidate-heap pops in PairMerge's heap engine.
+	HeapPops *metrics.Counter
+	// Merges counts accepted merges across engines.
+	Merges *metrics.Counter
+	// Restarts counts DirectedSearch restarts executed.
+	Restarts *metrics.Counter
+	// Components counts overlap components partitioned by Clustering.
+	Components *metrics.Counter
+	// ConvergenceCost observes the best objective value at convergence.
+	ConvergenceCost *metrics.Histogram
+}
 
 // Plan is a solution to the query merging problem: a collection M = {M_i}
 // of sets of query indices. For partition-based algorithms every query
@@ -120,6 +140,9 @@ type Instance struct {
 	Model   cost.Model
 	Sizer   cost.Sizer
 	Overlap func(i, j int) float64
+	// Metrics optionally instruments the solver engines; nil runs
+	// uninstrumented.
+	Metrics *SolverMetrics
 }
 
 // Cost returns the total cost of the plan under the instance's model.
@@ -142,6 +165,7 @@ func memoized(inst *Instance) *Instance {
 		Model:   inst.Model,
 		Sizer:   cost.NewMemo(inst.Sizer, inst.N),
 		Overlap: inst.Overlap,
+		Metrics: inst.Metrics,
 	}
 }
 

@@ -112,6 +112,10 @@ func (ds DirectedSearch) Solve(inst *Instance) Plan {
 			best = run
 		}
 	}
+	if sm := inst.Metrics; sm != nil {
+		sm.Restarts.Add(uint64(t))
+		sm.ConvergenceCost.Observe(costs[best])
+	}
 	return plans[best].Normalize()
 }
 

@@ -181,11 +181,14 @@ func (pm PairMerge) solveHeap(inst *Instance) Plan {
 	}
 	pmHeapInit(h)
 
+	var pops, merges uint64
 	for aliveCount > 1 && len(h) > 0 {
 		e := pmHeapPop(&h)
+		pops++
 		if !alive[e.a] || !alive[e.b] {
 			continue // lazy invalidation: a retired endpoint
 		}
+		merges++
 		// Merge: retire both endpoints, append the union as a new set,
 		// and push its deltas against every survivor.
 		qs := sets[e.a].qs.Clone()
@@ -203,6 +206,11 @@ func (pm PairMerge) solveHeap(inst *Instance) Plan {
 				pmHeapPush(&h, pmEntry{d: d, rm: rm, a: other, b: id})
 			}
 		}
+	}
+
+	if sm := inst.Metrics; sm != nil {
+		sm.HeapPops.Add(pops)
+		sm.Merges.Add(merges)
 	}
 
 	plan := make(Plan, 0, aliveCount)

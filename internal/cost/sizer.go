@@ -1,6 +1,10 @@
 package cost
 
-import "sync"
+import (
+	"sync"
+
+	"qsub/internal/metrics"
+)
 
 // Func is a Sizer built from two functions. It is the glue between the
 // abstract merging algorithms and concrete instantiations: geographic
@@ -47,6 +51,13 @@ type Memo struct {
 	words  int       // QSet words for n queries
 	sizes  []float64 // singleton sizes, cached eagerly
 	shards [memoShards]memoShard
+
+	// Optional nil-safe instrumentation (see SetMetrics). hits/misses
+	// track cache effectiveness; contended counts lock acquisitions
+	// that could not be taken immediately.
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	contended *metrics.Counter
 }
 
 // memoShard is one lock-striped segment of the cache. small is used when
@@ -82,6 +93,41 @@ func NewMemo(inner Sizer, n int) *Memo {
 	return m
 }
 
+// SetMetrics attaches hit/miss/contention counters to the memo. Any of
+// the counters may be nil (that aspect stays uncounted). Call before
+// handing the memo to concurrent solvers; the handles themselves are
+// lock-free and allocation-free.
+func (m *Memo) SetMetrics(hits, misses, contended *metrics.Counter) {
+	m.hits = hits
+	m.misses = misses
+	m.contended = contended
+}
+
+// rlock takes the shard read lock, counting the acquisition as
+// contended when it could not be taken immediately.
+func (m *Memo) rlock(sh *memoShard) {
+	if m.contended == nil {
+		sh.mu.RLock()
+		return
+	}
+	if !sh.mu.TryRLock() {
+		m.contended.Inc()
+		sh.mu.RLock()
+	}
+}
+
+// lock is rlock for the write lock.
+func (m *Memo) lock(sh *memoShard) {
+	if m.contended == nil {
+		sh.mu.Lock()
+		return
+	}
+	if !sh.mu.TryLock() {
+		m.contended.Inc()
+		sh.mu.Lock()
+	}
+}
+
 // Size returns the cached singleton size.
 func (m *Memo) Size(i int) float64 { return m.sizes[i] }
 
@@ -100,14 +146,16 @@ func (m *Memo) MergedSize(set []int) float64 {
 			key |= 1 << uint(q)
 		}
 		sh := &m.shards[mix64(key)&(memoShards-1)]
-		sh.mu.RLock()
+		m.rlock(sh)
 		v, ok := sh.small[key]
 		sh.mu.RUnlock()
 		if ok {
+			m.hits.Inc()
 			return v
 		}
+		m.misses.Inc()
 		v = m.inner.MergedSize(set)
-		sh.mu.Lock()
+		m.lock(sh)
 		sh.small[key] = v
 		sh.mu.Unlock()
 		return v
@@ -124,14 +172,16 @@ func (m *Memo) mergedSizeLarge(set []int) float64 {
 	}
 	key := qsetKey(qs)
 	sh := &m.shards[qs.Hash()&(memoShards-1)]
-	sh.mu.RLock()
+	m.rlock(sh)
 	v, ok := sh.large[key]
 	sh.mu.RUnlock()
 	if ok {
+		m.hits.Inc()
 		return v
 	}
+	m.misses.Inc()
 	v = m.inner.MergedSize(set)
-	sh.mu.Lock()
+	m.lock(sh)
 	sh.large[key] = v
 	sh.mu.Unlock()
 	return v

@@ -1,0 +1,104 @@
+// Admin endpoint: an optional HTTP listener exposing the daemon's
+// instrument catalog and planning state for operators. Three views, all
+// read-only — /metrics (Prometheus text exposition for scrapers),
+// /healthz (liveness), /statusz (one JSON document with the current
+// plan summary and a full metrics snapshot) — plus the standard
+// net/http/pprof profiling handlers under /debug/pprof/.
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+
+	"qsub/internal/metrics"
+)
+
+// PlanSummary describes the daemon's cached plan for /statusz.
+type PlanSummary struct {
+	// Queries is the number of subscribed queries in the plan.
+	Queries int `json:"queries"`
+	// MergedSets is the number of merged query sets across channels.
+	MergedSets int `json:"mergedSets"`
+	// EstimatedCost is Cost(M) of the chosen merging (§4).
+	EstimatedCost float64 `json:"estimatedCost"`
+	// InitialCost is Cost(M) with every query in its own set, the
+	// no-merging baseline the optimizer improved on.
+	InitialCost float64 `json:"initialCost"`
+}
+
+// Status is the /statusz document: control-plane state plus a
+// point-in-time counter snapshot, sharing the snapshot types that
+// qsubtrace's summary and trace events embed.
+type Status struct {
+	// Channels is the multicast channel count.
+	Channels int `json:"channels"`
+	// Sessions is the number of connected TCP clients.
+	Sessions int `json:"sessions"`
+	// Replans counts planning passes since startup.
+	Replans int `json:"replans"`
+	// Plan summarizes the cached cycle; nil before the first plan.
+	Plan *PlanSummary `json:"plan,omitempty"`
+	// Metrics is the full registry snapshot.
+	Metrics *metrics.Snapshot `json:"metrics"`
+}
+
+// Status collects the /statusz document.
+func (d *Daemon) Status() Status {
+	st := Status{
+		Channels: d.net.Channels(),
+		Metrics:  d.metrics.Snapshot(),
+	}
+	d.mu.Lock()
+	st.Sessions = len(d.sessions)
+	d.mu.Unlock()
+	d.planMu.Lock()
+	st.Replans = d.replans
+	if cy := d.cycle; cy != nil {
+		sets := 0
+		for _, plan := range cy.ChannelPlans {
+			sets += len(plan)
+		}
+		st.Plan = &PlanSummary{
+			Queries:       len(cy.Queries),
+			MergedSets:    sets,
+			EstimatedCost: cy.EstimatedCost,
+			InitialCost:   cy.InitialCost,
+		}
+	}
+	d.planMu.Unlock()
+	return st
+}
+
+// AdminMux builds the admin HTTP handler. The caller owns the listener
+// and server lifecycle (see cmd/qsubd's -admin flag); handlers stay
+// valid until the daemon is closed.
+func (d *Daemon) AdminMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := d.metrics.Registry.WritePrometheus(w); err != nil {
+			d.logf("daemon: /metrics write: %v", err)
+		}
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d.Status()); err != nil {
+			d.logf("daemon: /statusz write: %v", err)
+		}
+	})
+	// net/http/pprof only self-registers on http.DefaultServeMux; the
+	// admin mux is private, so the routes are installed explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -14,6 +14,7 @@ import (
 	"net"
 	"sync"
 
+	"qsub/internal/metrics"
 	"qsub/internal/multicast"
 	"qsub/internal/query"
 	"qsub/internal/relation"
@@ -27,8 +28,9 @@ import (
 // the drift monitor reports that database churn invalidated the cost
 // estimates (§11 dynamic scenario).
 type Daemon struct {
-	srv *server.Server
-	net *multicast.Network
+	srv     *server.Server
+	net     *multicast.Network
+	metrics *metrics.Catalog
 
 	mu       sync.Mutex
 	sessions map[int]*session
@@ -67,6 +69,12 @@ func New(rel *relation.Relation, channels int, cfg server.Config) (*Daemon, erro
 	if err != nil {
 		return nil, err
 	}
+	// The daemon is always instrumented: a Catalog is cheap (a few
+	// hundred atomics) and the admin endpoint needs one to serve.
+	// Callers may pass their own via cfg.Metrics to share a registry.
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewCatalog(channels)
+	}
 	srv, err := server.New(rel, mnet, cfg)
 	if err != nil {
 		return nil, err
@@ -74,9 +82,13 @@ func New(rel *relation.Relation, channels int, cfg server.Config) (*Daemon, erro
 	return &Daemon{
 		srv:      srv,
 		net:      mnet,
+		metrics:  cfg.Metrics,
 		sessions: make(map[int]*session),
 	}, nil
 }
+
+// Metrics returns the daemon's instrument catalog (never nil).
+func (d *Daemon) Metrics() *metrics.Catalog { return d.metrics }
 
 // Server exposes the underlying subscription server (for data loading and
 // direct planning in tests).
@@ -211,6 +223,16 @@ func (d *Daemon) record(ev trace.Event) {
 	}
 }
 
+// traceSnapshot returns a metrics snapshot for embedding into plan and
+// drift trace events, or nil when tracing is off (snapshots are cold
+// but not free, so they are taken only when a recorder will see them).
+func (d *Daemon) traceSnapshot() *metrics.Snapshot {
+	if d.Trace == nil {
+		return nil
+	}
+	return d.metrics.Snapshot()
+}
+
 // markDirty forces a re-plan on the next cycle.
 func (d *Daemon) markDirty() {
 	d.planMu.Lock()
@@ -272,7 +294,8 @@ func (d *Daemon) RunCycle(delta bool) (server.Report, error) {
 		d.record(trace.Event{Kind: trace.KindPlan,
 			Queries: len(fresh.Queries), MergedSets: sets,
 			Channels:      d.net.Channels(),
-			EstimatedCost: fresh.EstimatedCost, InitialCost: fresh.InitialCost})
+			EstimatedCost: fresh.EstimatedCost, InitialCost: fresh.InitialCost,
+			Metrics: d.traceSnapshot()})
 
 		d.mu.Lock()
 		sessions := make([]*session, 0, len(d.sessions))
@@ -315,7 +338,8 @@ func (d *Daemon) RunCycle(delta bool) (server.Report, error) {
 		d.planMu.Unlock()
 		d.record(trace.Event{Kind: trace.KindPublish,
 			Messages: rep.Messages, Tuples: rep.Tuples, PayloadBytes: rep.PayloadBytes})
-		d.record(trace.Event{Kind: trace.KindDrift, Drift: drift, Replan: replan})
+		d.record(trace.Event{Kind: trace.KindDrift, Drift: drift, Replan: replan,
+			Metrics: d.traceSnapshot()})
 	}
 	return rep, err
 }

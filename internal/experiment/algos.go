@@ -84,7 +84,7 @@ func RunAlgoComparison(cfg AlgoConfig) ([]AlgoResult, error) {
 			return nil, err
 		}
 		qs := gen.Queries(cfg.Queries)
-		inst := core.NewGeomInstance(cfg.Model, qs, query.BoundingRect{}, est)
+		inst := instrument(core.NewGeomInstance(cfg.Model, qs, query.BoundingRect{}, est))
 		optimal := inst.Cost(core.Partition{}.Solve(inst))
 		initial := inst.InitialCost()
 		for _, e := range entries {

@@ -123,7 +123,7 @@ func RunMergeOptimality(cfg MergeConfig) ([]MergeResult, error) {
 				return nil, err
 			}
 			qs := gen.Queries(n)
-			inst := core.NewGeomInstance(cfg.Model, qs, cfg.Procedure, est)
+			inst := instrument(core.NewGeomInstance(cfg.Model, qs, cfg.Procedure, est))
 			optimal := inst.Cost(core.Partition{}.Solve(inst))
 			heuristic := inst.Cost(cfg.Heuristic.Solve(inst))
 			initial := inst.InitialCost()
@@ -256,17 +256,17 @@ func RunChannelAllocation(cfg ChannelConfig) ([]ChannelResult, error) {
 			return nil, err
 		}
 		qs := gen.Queries(cfg.Clients * cfg.QueriesPerClient)
-		inst := core.NewGeomInstance(cfg.Model, qs, query.BoundingRect{}, est)
+		inst := instrument(core.NewGeomInstance(cfg.Model, qs, query.BoundingRect{}, est))
 		clients := gen.Clients(cfg.Clients, qs)
 		// One Problem per trial: the exhaustive optimum and all three
 		// strategies share its group-cost cache, so the heuristics mostly
 		// replay groups the exhaustive search already solved.
-		prob := &chanalloc.Problem{
+		prob := instrumentProblem(&chanalloc.Problem{
 			Inst:        inst,
 			Clients:     clients,
 			Channels:    cfg.Channels,
 			Parallelism: cfg.Parallelism,
-		}
+		})
 		_, opt, err := chanalloc.Exhaustive(prob)
 		if err != nil {
 			return nil, err

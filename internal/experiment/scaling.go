@@ -60,14 +60,14 @@ func RunScaling(cfg ScalingConfig) ([]ScalingRow, error) {
 		for i := range qs {
 			qs[i] = query.Range(query.ID(i+1), geom.R(0, 0, 1, 1))
 		}
-		inst := &core.Instance{
+		inst := instrument(&core.Instance{
 			N:     n,
 			Model: cfg.Model,
 			Sizer: cost.Func{
 				SizeFn:   func(int) float64 { return cfg.QuerySize },
 				MergedFn: func([]int) float64 { return cfg.QuerySize },
 			},
-		}
+		})
 		merged := core.PairMerge{}.Solve(inst)
 		row := ScalingRow{
 			Clients:          n,

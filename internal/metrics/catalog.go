@@ -1,0 +1,130 @@
+package metrics
+
+// Standard bucket layouts for the catalog's histograms.
+var (
+	// LatencyBuckets covers 100µs .. 5s in a coarse log scale, in seconds.
+	LatencyBuckets = []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+	}
+	// SizeBuckets covers batch/tuple counts 1 .. 64k in powers of four.
+	SizeBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}
+	// CostBuckets covers solver objective values across nine decades.
+	CostBuckets = []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+)
+
+// Catalog is the full set of pre-registered qsub instruments, one
+// Registry behind them. Every field is safe to hand out as a nil-safe
+// handle; a nil *Catalog simply leaves every handle nil, so the whole
+// stack runs uninstrumented at the cost of one branch per site.
+type Catalog struct {
+	Registry *Registry
+
+	// cost.Memo: merged-size cache behavior.
+	MemoHits      *Counter
+	MemoMisses    *Counter
+	MemoContended *Counter
+
+	// Solver engines (core).
+	SolverHeapPops        *Counter
+	SolverMerges          *Counter
+	SolverRestarts        *Counter
+	SolverComponents      *Counter
+	SolverConvergenceCost *Histogram
+
+	// Channel allocation (chanalloc).
+	AllocRestarts         *Counter
+	AllocSmartWins        *Counter
+	AllocRandomWins       *Counter
+	AllocGroupCacheHits   *Counter
+	AllocGroupCacheMisses *Counter
+
+	// Server planning and publishing. The three cost-model terms of
+	// Cost(M) = K_M·|M| + K_T·size(M) + K_U·U(Q,M) surface as
+	// PublishMessages (|M|), PublishTuples/PublishBytes (size(M)) and
+	// IrrelevantTuples (realized U(Q,M)).
+	PlansTotal       *Counter
+	PlanSeconds      *Histogram
+	PublishesTotal   *Counter
+	PublishDeltas    *Counter
+	PublishSeconds   *Histogram
+	PublishMessages  *Counter
+	PublishTuples    *Counter
+	PublishBytes     *Counter
+	IrrelevantTuples *Counter
+
+	// Per-channel splits of the publish totals.
+	ChannelMessages *Vec
+	ChannelTuples   *Vec
+	ChannelBytes    *Vec
+
+	// relation delta extraction.
+	DeltaBatchTuples *Histogram
+	DeltaDeletions   *Counter
+
+	// multicast fan-out.
+	FanoutDeliveries *Counter
+	FanoutDropped    *Counter
+
+	// Client-side extractor.
+	ClientKeptTuples       *Counter
+	ClientFilteredMessages *Counter
+}
+
+// NewCatalog builds a fresh registry with every qsub instrument
+// pre-registered. channels sizes the per-channel counter vecs; pass 0
+// when no channel split is needed (the vec handles become no-ops).
+func NewCatalog(channels int) *Catalog {
+	r := NewRegistry()
+	return &Catalog{
+		Registry: r,
+
+		MemoHits:      r.Counter("qsub_memo_hits_total", "merged-size memo cache hits"),
+		MemoMisses:    r.Counter("qsub_memo_misses_total", "merged-size memo cache misses (sizes computed)"),
+		MemoContended: r.Counter("qsub_memo_contended_total", "memo shard lock acquisitions that had to wait"),
+
+		SolverHeapPops:        r.Counter("qsub_solver_heap_pops_total", "pair-merge candidate heap pops"),
+		SolverMerges:          r.Counter("qsub_solver_merges_total", "accepted solver merges"),
+		SolverRestarts:        r.Counter("qsub_solver_restarts_total", "directed-search / clustering restarts executed"),
+		SolverComponents:      r.Counter("qsub_solver_components_total", "overlap components partitioned by clustering"),
+		SolverConvergenceCost: r.Histogram("qsub_solver_convergence_cost", "best objective value at solver convergence", CostBuckets),
+
+		AllocRestarts:         r.Counter("qsub_alloc_restarts_total", "channel-allocation multi-start restarts executed"),
+		AllocSmartWins:        r.Counter("qsub_alloc_smart_wins_total", "multi-start runs won by the smart-init restart"),
+		AllocRandomWins:       r.Counter("qsub_alloc_random_wins_total", "multi-start runs won by a random restart"),
+		AllocGroupCacheHits:   r.Counter("qsub_alloc_group_cache_hits_total", "channel-group cost cache hits"),
+		AllocGroupCacheMisses: r.Counter("qsub_alloc_group_cache_misses_total", "channel-group cost cache misses (sub-solves run)"),
+
+		PlansTotal:       r.Counter("qsub_plans_total", "multicast plans computed"),
+		PlanSeconds:      r.Histogram("qsub_plan_seconds", "wall time of server.Plan", LatencyBuckets),
+		PublishesTotal:   r.Counter("qsub_publishes_total", "publish cycles (full and delta)"),
+		PublishDeltas:    r.Counter("qsub_publish_deltas_total", "delta publish cycles"),
+		PublishSeconds:   r.Histogram("qsub_publish_seconds", "wall time of server.Publish / PublishDelta", LatencyBuckets),
+		PublishMessages:  r.Counter("qsub_publish_messages_total", "multicast messages published (|M| term)"),
+		PublishTuples:    r.Counter("qsub_publish_tuples_total", "tuples shipped across all messages (size(M) term)"),
+		PublishBytes:     r.Counter("qsub_publish_payload_bytes_total", "payload bytes shipped across all messages"),
+		IrrelevantTuples: r.Counter("qsub_irrelevant_tuples_total", "realized U(Q,M): per-addressed-query tuples shipped outside the query region"),
+
+		ChannelMessages: r.CounterVec("qsub_channel_messages_total", "messages published per channel", "channel", channels),
+		ChannelTuples:   r.CounterVec("qsub_channel_tuples_total", "tuples published per channel", "channel", channels),
+		ChannelBytes:    r.CounterVec("qsub_channel_payload_bytes_total", "payload bytes published per channel", "channel", channels),
+
+		DeltaBatchTuples: r.Histogram("qsub_delta_batch_tuples", "inserted tuples per extracted delta batch", SizeBuckets),
+		DeltaDeletions:   r.Counter("qsub_delta_deletions_total", "deleted tuple ids carried by delta batches"),
+
+		FanoutDeliveries: r.Counter("qsub_fanout_deliveries_total", "multicast message deliveries to subscribed sessions"),
+		FanoutDropped:    r.Counter("qsub_fanout_dropped_total", "multicast deliveries dropped (no capacity)"),
+
+		ClientKeptTuples:       r.Counter("qsub_client_kept_tuples_total", "tuples kept by the client extractor"),
+		ClientFilteredMessages: r.Counter("qsub_client_filtered_messages_total", "messages discarded by clients as unaddressed"),
+	}
+}
+
+// Snapshot returns a point-in-time copy of the catalog's registry.
+// Nil-safe: returns nil for a nil catalog.
+func (c *Catalog) Snapshot() *Snapshot {
+	if c == nil {
+		return nil
+	}
+	return c.Registry.Snapshot()
+}

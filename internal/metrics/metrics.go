@@ -1,0 +1,365 @@
+// Package metrics is a dependency-free registry of atomic counters,
+// gauges and fixed-bucket histograms for instrumenting the qsub engine.
+//
+// # Zero-allocation contract
+//
+// Every instrument is pre-registered at startup (NewRegistry +
+// Registry.Counter/Gauge/Histogram/CounterVec); the hot-path methods —
+// Counter.Inc/Add, Gauge.Set/Add, Histogram.Observe, Vec.At — never
+// allocate and never take locks. Counters and gauges are single atomic
+// adds; histograms do a linear scan over a fixed bound slice, one atomic
+// bucket add and a CAS loop on a float64-bits sum. All instrument
+// pointers are nil-safe: a nil *Counter, *Gauge, *Histogram or *Vec
+// turns every method into a one-branch no-op, so uninstrumented callers
+// keep a nil handle and pay a single predictable branch.
+//
+// Export paths (Snapshot, WritePrometheus) allocate freely; they are
+// cold and run concurrently with writers, reading each instrument
+// atomically (per-value, not cross-instrument consistent — fine for
+// monotone counters).
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// A Counter is a monotonically increasing uint64.
+type Counter struct {
+	v          atomic.Uint64
+	name, help string
+	labels     string // preformatted {k="v"} suffix, "" for plain counters
+}
+
+// Inc adds one. Nil-safe no-op.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n. Nil-safe no-op.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current value; 0 for a nil counter.
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// A Gauge is an instantaneous int64 value (set or adjusted).
+type Gauge struct {
+	v          atomic.Int64
+	name, help string
+}
+
+// Set stores v. Nil-safe no-op.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts by delta. Nil-safe no-op.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Load returns the current value; 0 for a nil gauge.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// A Histogram counts observations into fixed upper-bound buckets
+// (cumulative on export, Prometheus-style, with an implicit +Inf
+// bucket) and tracks the running sum.
+type Histogram struct {
+	name, help string
+	bounds     []float64       // ascending upper bounds; immutable after registration
+	counts     []atomic.Uint64 // len(bounds)+1; last is +Inf overflow
+	count      atomic.Uint64
+	sumBits    atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// Observe records v. Nil-safe no-op; never allocates.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations; 0 for a nil histogram.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values; 0 for a nil histogram.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// A Vec is a fixed-size family of counters sharing a name and
+// distinguished by one integer-valued label (e.g. per-channel totals).
+// Slots are pre-registered; At is a nil-safe bounds-checked lookup.
+type Vec struct {
+	counters []*Counter
+}
+
+// At returns the counter for slot i, or nil (itself a no-op handle)
+// when the vec is nil or i is out of range.
+func (v *Vec) At(i int) *Counter {
+	if v == nil || i < 0 || i >= len(v.counters) {
+		return nil
+	}
+	return v.counters[i]
+}
+
+// Len returns the number of slots; 0 for a nil vec.
+func (v *Vec) Len() int {
+	if v == nil {
+		return 0
+	}
+	return len(v.counters)
+}
+
+// A Registry owns a set of pre-registered instruments. Registration
+// (the Counter/Gauge/Histogram/CounterVec constructors) is mutex-guarded
+// and idempotent by name; instrument use after registration is lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter // key: name+labels
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter registers (or returns the existing) plain counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram registers (or returns the existing) histogram with the
+// given ascending upper bounds. The bounds slice is copied.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{
+		name:   name,
+		help:   help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+// CounterVec registers a fixed family of n counters labelled
+// label="0".."n-1". Returns an empty (all-At-nil) vec when n <= 0.
+func (r *Registry) CounterVec(name, help, label string, n int) *Vec {
+	v := &Vec{}
+	for i := 0; i < n; i++ {
+		labels := `{` + label + `="` + strconv.Itoa(i) + `"}`
+		key := name + labels
+		r.mu.Lock()
+		c, ok := r.counters[key]
+		if !ok {
+			c = &Counter{name: name, help: help, labels: labels}
+			r.counters[key] = c
+		}
+		r.mu.Unlock()
+		v.counters = append(v.counters, c)
+	}
+	return v
+}
+
+// HistogramSnapshot is the exported state of one histogram.
+type HistogramSnapshot struct {
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []uint64  `json:"buckets,omitempty"` // per-bucket (non-cumulative), len(Bounds)+1
+}
+
+// Snapshot is a point-in-time JSON-able copy of every instrument,
+// keyed by metric name (plus label suffix for vec members).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current value of every registered instrument.
+// Nil-safe: a nil registry yields a nil snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for key, c := range r.counters {
+		s.Counters[key] = c.Load()
+	}
+	for key, g := range r.gauges {
+		s.Gauges[key] = g.Load()
+	}
+	for key, h := range r.hists {
+		hs := HistogramSnapshot{
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+			Bounds: append([]float64(nil), h.bounds...),
+		}
+		hs.Buckets = make([]uint64, len(h.counts))
+		for i := range h.counts {
+			hs.Buckets[i] = h.counts[i].Load()
+		}
+		s.Histograms[key] = hs
+	}
+	return s
+}
+
+// MarshalJSONIndent renders the snapshot as indented JSON.
+func (s *Snapshot) MarshalJSONIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (hand-rolled; no client library).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool {
+		if counters[i].name != counters[j].name {
+			return counters[i].name < counters[j].name
+		}
+		return counters[i].labels < counters[j].labels
+	})
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	lastHeader := ""
+	for _, c := range counters {
+		if c.name != lastHeader {
+			pr("# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
+			lastHeader = c.name
+		}
+		pr("%s%s %d\n", c.name, c.labels, c.Load())
+	}
+	for _, g := range gauges {
+		pr("# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)
+		pr("%s %d\n", g.name, g.Load())
+	}
+	for _, h := range hists {
+		pr("# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			pr("%s_bucket{le=\"%s\"} %d\n", h.name, formatBound(b), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		pr("%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+		pr("%s_sum %s\n", h.name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+		pr("%s_count %d\n", h.name, h.Count())
+	}
+	return err
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

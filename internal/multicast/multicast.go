@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"qsub/internal/metrics"
 	"qsub/internal/query"
 	"qsub/internal/relation"
 )
@@ -127,6 +128,11 @@ type Network struct {
 	dropped               atomic.Uint64
 
 	perChannel []channelCounters
+
+	// Optional nil-safe fan-out instrumentation (see SetMetrics),
+	// additive to the built-in atomic counters above.
+	mDeliveries *metrics.Counter
+	mDropped    *metrics.Counter
 }
 
 // channelCounters holds the per-channel slice of the traffic counters.
@@ -167,6 +173,15 @@ func NewNetwork(channels int, opts ...Option) (*Network, error) {
 
 // Channels returns the number of logical channels.
 func (n *Network) Channels() int { return n.channels }
+
+// SetMetrics attaches fan-out counters to the network: deliveries
+// counts message copies handed to subscribers, dropped counts copies
+// suppressed by loss injection. Either may be nil. Call before
+// concurrent publishing.
+func (n *Network) SetMetrics(deliveries, dropped *metrics.Counter) {
+	n.mDeliveries = deliveries
+	n.mDropped = dropped
+}
 
 // Subscription is one client's attachment to a channel. Messages arrive
 // on C; Cancel detaches and closes C.
@@ -258,14 +273,23 @@ func (n *Network) Publish(msg Message) error {
 	n.headerBytesSent.Add(uint64(msg.HeaderBytes()))
 	n.perChannel[msg.Channel].messages.Add(1)
 	n.perChannel[msg.Channel].payload.Add(payload)
+	var delivered, droppedCount uint64
 	for i, sub := range targets {
 		if drop != nil && drop[i] {
 			n.dropped.Add(1)
+			droppedCount++
 			continue
 		}
 		sub.ch <- msg
 		n.deliveries.Add(1)
 		n.payloadBytesDelivered.Add(payload)
+		delivered++
+	}
+	if delivered > 0 {
+		n.mDeliveries.Add(delivered)
+	}
+	if droppedCount > 0 {
+		n.mDropped.Add(droppedCount)
 	}
 	return nil
 }

@@ -6,7 +6,18 @@ import (
 	"sort"
 
 	"qsub/internal/geom"
+	"qsub/internal/metrics"
 )
+
+// SetDeltaMetrics attaches optional instrumentation to delta extraction:
+// batch observes the inserted-tuple count of every DeltaIndex built,
+// deleted accumulates the journaled deletions carried. Either handle may
+// be nil; both are nil-safe, so uninstrumented relations pay one branch.
+// Call before concurrent use.
+func (r *Relation) SetDeltaMetrics(batch *metrics.Histogram, deleted *metrics.Counter) {
+	r.deltaBatch = batch
+	r.deltaDeleted = deleted
+}
 
 // DeltaIndex is a point-in-time snapshot of one dissemination period's
 // churn: the tuples inserted since a watermark and the deletions
@@ -64,6 +75,8 @@ func (r *Relation) Delta(sinceID uint64) *DeltaIndex {
 		}
 	}
 	d.buildGrid()
+	r.deltaBatch.Observe(float64(len(d.inserted)))
+	r.deltaDeleted.Add(uint64(len(d.deleted)))
 	return d
 }
 

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"qsub/internal/geom"
+	"qsub/internal/metrics"
 )
 
 // Tuple is one object stored in the relation: a position in the attribute
@@ -47,6 +48,10 @@ type Relation struct {
 	live   int
 	delLog []deletion
 	nextID uint64
+
+	// Optional nil-safe delta instrumentation (see SetDeltaMetrics).
+	deltaBatch   *metrics.Histogram
+	deltaDeleted *metrics.Counter
 }
 
 // deletion journals one removed tuple for delta dissemination: seq is the

@@ -15,7 +15,7 @@ import (
 // benchWorld builds a populated relation, a network with no subscribers
 // (publish cost without delivery fan-out), and a planned server with
 // nClients clients of nQueries queries each.
-func benchWorld(b *testing.B, nTuples, nClients, nQueries, channels int, noDeltaIndex bool) (*Server, *relation.Relation, *Cycle) {
+func benchWorld(b testing.TB, nTuples, nClients, nQueries, channels int, noDeltaIndex bool) (*Server, *relation.Relation, *Cycle) {
 	b.Helper()
 	bounds := geom.R(0, 0, 1000, 1000)
 	rel := relation.MustNew(bounds, 32, 32)

@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports that this binary was built with -race, whose
+// runtime perturbs allocation counts (instrumentation inhibits
+// inlining), making exact AllocsPerRun pins meaningless.
+const raceEnabled = true

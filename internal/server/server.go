@@ -15,11 +15,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"qsub/internal/chanalloc"
 	"qsub/internal/core"
 	"qsub/internal/cost"
 	"qsub/internal/geom"
+	"qsub/internal/metrics"
 	"qsub/internal/multicast"
 	"qsub/internal/query"
 	"qsub/internal/relation"
@@ -61,6 +63,12 @@ type Config struct {
 	// the correctness oracle the equivalence tests pin the delta index
 	// against.
 	NoDeltaIndex bool
+	// Metrics optionally instruments the whole stack the server drives:
+	// memo hit rates, solver and allocator work, plan/publish latency,
+	// per-channel traffic, realized U(Q,M) and delta batch sizes. Nil
+	// runs uninstrumented; the enabled handles are allocation-free on
+	// the publish path (see the AllocsPerRun pins in the tests).
+	Metrics *metrics.Catalog
 }
 
 // Server owns the subscription registry and the merge/publish cycle.
@@ -90,6 +98,10 @@ func New(rel *relation.Relation, net *multicast.Network, cfg Config) (*Server, e
 	}
 	if cfg.Estimator == nil {
 		cfg.Estimator = relation.Exact{Rel: rel}
+	}
+	if cat := cfg.Metrics; cat != nil {
+		rel.SetDeltaMetrics(cat.DeltaBatchTuples, cat.DeltaDeletions)
+		net.SetMetrics(cat.FanoutDeliveries, cat.FanoutDropped)
 	}
 	return &Server{
 		rel:  rel,
@@ -264,13 +276,33 @@ func (s *Server) Plan() (*Cycle, error) {
 		return nil, errors.New("server: no subscriptions to plan")
 	}
 
+	cat := s.cfg.Metrics
+	planStart := time.Now()
+	donePlan := func() {
+		if cat != nil {
+			cat.PlansTotal.Inc()
+			cat.PlanSeconds.Observe(time.Since(planStart).Seconds())
+		}
+	}
+
 	inst := core.NewGeomInstance(s.cfg.Model, qs, s.cfg.Procedure, s.cfg.Estimator)
 	// One concurrency-safe merged-size cache for the whole replan cycle:
 	// the channel-allocation hill climb re-merges overlapping client
 	// subsets dozens of times, and the parallel solvers probe the same
 	// unions from several goroutines. Built fresh per Plan call because
 	// the estimator reflects the current relation contents.
-	inst.Sizer = cost.NewMemo(inst.Sizer, inst.N)
+	memo := cost.NewMemo(inst.Sizer, inst.N)
+	if cat != nil {
+		memo.SetMetrics(cat.MemoHits, cat.MemoMisses, cat.MemoContended)
+		inst.Metrics = &core.SolverMetrics{
+			HeapPops:        cat.SolverHeapPops,
+			Merges:          cat.SolverMerges,
+			Restarts:        cat.SolverRestarts,
+			Components:      cat.SolverComponents,
+			ConvergenceCost: cat.SolverConvergenceCost,
+		}
+	}
+	inst.Sizer = memo
 	cy := &Cycle{
 		Queries:       qs,
 		Owners:        owners,
@@ -288,6 +320,7 @@ func (s *Server) Plan() (*Cycle, error) {
 		cy.EstimatedCost = inst.Cost(plan)
 		s.applySplit(cy, len(clients))
 		cy.publishPlans(s.cfg.Procedure)
+		donePlan()
 		return cy, nil
 	}
 
@@ -298,6 +331,15 @@ func (s *Server) Plan() (*Cycle, error) {
 		Merger:      s.cfg.Algorithm,
 		Parallelism: s.cfg.Parallelism,
 		Restarts:    s.cfg.Restarts,
+	}
+	if cat != nil {
+		prob.Metrics = &chanalloc.AllocMetrics{
+			Restarts:         cat.AllocRestarts,
+			SmartWins:        cat.AllocSmartWins,
+			RandomWins:       cat.AllocRandomWins,
+			GroupCacheHits:   cat.AllocGroupCacheHits,
+			GroupCacheMisses: cat.AllocGroupCacheMisses,
+		}
 	}
 	alloc, total, err := chanalloc.Heuristic(prob, s.cfg.Strategy, s.cfg.Seed)
 	if err != nil {
@@ -324,6 +366,7 @@ func (s *Server) Plan() (*Cycle, error) {
 	// Materialize the publish schedule (regions, addressed sets,
 	// headers) at plan time: it is invariant across publish rounds.
 	cy.publishPlans(s.cfg.Procedure)
+	donePlan()
 	return cy, nil
 }
 
@@ -447,6 +490,8 @@ func putPubScratch(sc *pubScratch) {
 // snapshotted once per round and matched against every merged region in
 // one pass.
 func (s *Server) publish(cy *Cycle, sinceID uint64, delta bool) (Report, error) {
+	cat := s.cfg.Metrics
+	pubStart := time.Now()
 	plans := cy.publishPlans(s.cfg.Procedure)
 	useDelta := delta && sinceID > 0
 	var di *relation.DeltaIndex
@@ -512,6 +557,21 @@ func (s *Server) publish(cy *Cycle, sinceID uint64, delta bool) (Report, error) 
 	}
 
 	var rep Report
+	var irr uint64
+	// Per-channel traffic accumulates locally and flushes one Add per
+	// channel run: msgPlans are channel-ordered (buildMsgPlans iterates
+	// ChannelPlans by index), so the flush fires once per channel, not
+	// once per message.
+	var chMsgs, chTuples, chBytes uint64
+	curCh := -1
+	flushChannel := func() {
+		if curCh >= 0 {
+			cat.ChannelMessages.At(curCh).Add(chMsgs)
+			cat.ChannelTuples.At(curCh).Add(chTuples)
+			cat.ChannelBytes.At(curCh).Add(chBytes)
+		}
+		chMsgs, chTuples, chBytes = 0, 0, 0
+	}
 	for idx := range plans {
 		mp := &plans[idx]
 		msg := multicast.Message{
@@ -524,11 +584,59 @@ func (s *Server) publish(cy *Cycle, sinceID uint64, delta bool) (Report, error) 
 		if err := s.net.Publish(msg); err != nil {
 			return rep, fmt.Errorf("server: publish on channel %d: %w", mp.ch, err)
 		}
+		pb := msg.PayloadBytes()
 		rep.Messages++
-		rep.PayloadBytes += msg.PayloadBytes()
+		rep.PayloadBytes += pb
 		rep.Tuples += len(results[idx])
+		if cat != nil {
+			if mp.ch != curCh {
+				flushChannel()
+				curCh = mp.ch
+			}
+			chMsgs++
+			chTuples += uint64(len(results[idx]))
+			chBytes += uint64(pb)
+			if len(results[idx]) > 0 {
+				irr += irrelevantTuples(cy, mp, results[idx])
+			}
+		}
+	}
+	if cat != nil {
+		flushChannel()
+	}
+	if cat != nil {
+		cat.PublishesTotal.Inc()
+		if delta {
+			cat.PublishDeltas.Inc()
+		}
+		cat.PublishMessages.Add(uint64(rep.Messages))
+		cat.PublishTuples.Add(uint64(rep.Tuples))
+		cat.PublishBytes.Add(uint64(rep.PayloadBytes))
+		cat.IrrelevantTuples.Add(irr)
+		cat.PublishSeconds.Observe(time.Since(pubStart).Seconds())
 	}
 	return rep, nil
+}
+
+// irrelevantTuples is one message's realized U(Q,M) contribution: each
+// addressed query is charged the tuples outside its own region that it
+// must extract away client-side. This is the runtime counterpart of the
+// model's irrelevant-data term; it runs only when metrics are enabled
+// and allocates nothing (plain slice walks and interface calls).
+func irrelevantTuples(cy *Cycle, mp *msgPlan, tuples []relation.Tuple) uint64 {
+	var irr uint64
+	for _, qi := range mp.addressed {
+		r := cy.Queries[qi].Region
+		if r == nil {
+			continue
+		}
+		for _, t := range tuples {
+			if !r.Contains(t.Pos) {
+				irr++
+			}
+		}
+	}
+	return irr
 }
 
 // buildHeader groups the merged set's queries by owning client, producing

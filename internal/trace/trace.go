@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"qsub/internal/metrics"
 )
 
 // Kind labels one event type.
@@ -54,6 +56,11 @@ type Event struct {
 	// Drift fields.
 	Drift  float64 `json:"drift,omitempty"`
 	Replan bool    `json:"replan,omitempty"`
+
+	// Metrics is an optional point-in-time counter snapshot attached to
+	// plan and drift events, so traces and the /metrics endpoint
+	// cross-reference on a shared clock.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // Recorder appends events to a stream as JSON lines. It is safe for
@@ -103,6 +110,20 @@ func (r *Recorder) Record(ev Event) {
 func (r *Recorder) Err() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.err
+}
+
+// Flush forces any buffered bytes onto the underlying writer and
+// returns the recorder's sticky error. After a failed write the
+// recorder stays failed: Flush reports the original error and does not
+// retry the stream.
+func (r *Recorder) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return r.err
+	}
+	r.err = r.w.Flush()
 	return r.err
 }
 

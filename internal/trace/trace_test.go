@@ -81,6 +81,61 @@ func TestRecorderStickyError(t *testing.T) {
 	}
 }
 
+// TestRecorderStickyErrorStopsRecording pins the sticky contract: after
+// the first failure, further Records neither advance the sequence nor
+// replace the original error, so callers always see the root cause.
+func TestRecorderStickyErrorStopsRecording(t *testing.T) {
+	r := NewRecorder(&failWriter{left: 10}, nil)
+	for i := 0; i < 3; i++ {
+		r.Record(Event{Kind: KindPlan})
+	}
+	first := r.Err()
+	if first == nil {
+		t.Fatal("write failure should surface via Err")
+	}
+	seqAtFailure := r.seq
+	for i := 0; i < 4; i++ {
+		r.Record(Event{Kind: KindPublish})
+	}
+	if r.seq != seqAtFailure {
+		t.Fatalf("sequence advanced after failure: %d -> %d", seqAtFailure, r.seq)
+	}
+	if got := r.Err(); got != first {
+		t.Fatalf("error replaced after failure: %v -> %v", first, got)
+	}
+}
+
+func TestFlushReportsFailureAndStaysSticky(t *testing.T) {
+	r := NewRecorder(&failWriter{left: 10}, nil)
+	for i := 0; i < 3; i++ {
+		r.Record(Event{Kind: KindPlan})
+	}
+	first := r.Err()
+	if first == nil {
+		t.Fatal("write failure should surface via Err")
+	}
+	if got := r.Flush(); got != first {
+		t.Fatalf("Flush after failed write = %v, want the original %v", got, first)
+	}
+	// Flushing again must not retry the stream or mint a new error.
+	if got := r.Flush(); got != first {
+		t.Fatalf("second Flush = %v, want the original %v", got, first)
+	}
+}
+
+func TestFlushOnHealthyRecorder(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf, nil)
+	r.Record(Event{Kind: KindPlan, Queries: 2})
+	if err := r.Flush(); err != nil {
+		t.Fatalf("Flush on healthy recorder: %v", err)
+	}
+	events, err := Read(&buf)
+	if err != nil || len(events) != 1 {
+		t.Fatalf("events=%v err=%v", events, err)
+	}
+}
+
 func TestNilNowDefaults(t *testing.T) {
 	var buf bytes.Buffer
 	r := NewRecorder(&buf, nil)
