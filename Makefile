@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-save bench-compare check cover experiments fuzz clean
+.PHONY: all build test race race-delivery bench bench-save bench-compare check cover experiments fuzz clean
 
 # Coverage floor for the observability layer: the metrics registry is
 # the contract every hot path leans on, so its package stays near-fully
@@ -27,6 +27,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race leg for the delivery layer: the Publish/Cancel stress
+# test, session-lifecycle and reconnect paths run multiple times so the
+# scheduler explores more interleavings than one -race pass would.
+race-delivery:
+	$(GO) test -race -count=3 ./internal/multicast ./internal/daemon ./internal/netclient ./internal/netfault ./internal/client
 
 # Coverage report with a hard floor on internal/metrics (see
 # METRICS_COVER_FLOOR above). The full-repo profile is informational;

@@ -6,9 +6,11 @@
 // Usage:
 //
 //	qsubctl -addr 127.0.0.1:7070 -id 1 -q "100,100,300,300" -q "250,250,400,400" -cycles 3
+//	qsubctl -addr 127.0.0.1:7070 -id 1 -q "100,100,300,300" -reconnect   # survive daemon restarts
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -16,10 +18,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"qsub/internal/client"
 	"qsub/internal/daemon"
 	"qsub/internal/geom"
+	"qsub/internal/netclient"
 	"qsub/internal/query"
 )
 
@@ -52,6 +56,11 @@ func main() {
 		id     = flag.Int("id", 1, "client id")
 		cycles = flag.Int("cycles", 1, "number of answer messages to wait for before exiting")
 		cache  = flag.Bool("cache", false, "enable the client object cache (§11)")
+
+		reconnect  = flag.Bool("reconnect", false, "keep the session alive across daemon restarts (resubscribe + full refresh)")
+		minBackoff = flag.Duration("min-backoff", 100*time.Millisecond, "base reconnect delay (with -reconnect)")
+		maxBackoff = flag.Duration("max-backoff", 30*time.Second, "reconnect delay cap (with -reconnect)")
+		maxTries   = flag.Int("max-attempts", 0, "give up after this many consecutive failed dials, 0 = retry forever (with -reconnect)")
 	)
 	workloadFile := flag.String("workload", "", "load query rectangles from a qsubgen JSON file instead of -q flags")
 	flag.Var(&rects, "q", "query rectangle minX,minY,maxX,maxY (repeatable)")
@@ -68,19 +77,41 @@ func main() {
 		os.Exit(2)
 	}
 
-	conn, err := daemon.Dial(*addr, *id)
+	queries := make([]query.Query, len(rects))
+	for i, r := range rects {
+		queries[i] = query.Range(query.ID(i+1), r)
+	}
+
+	var c *client.Client
+	if *reconnect {
+		c = runResilient(queries, *addr, *id, *cycles, *cache, *minBackoff, *maxBackoff, *maxTries)
+	} else {
+		c = runOnce(queries, *addr, *id, *cycles, *cache)
+	}
+
+	st := c.Stats()
+	fmt.Printf("messages seen %d, addressed %d; bytes relevant %d, irrelevant %d, filtered %d; gaps %d; cache hits %d\n",
+		st.MessagesSeen, st.MessagesAddressed, st.RelevantBytes, st.IrrelevantBytes,
+		st.FilteredBytes, st.GapsDetected, st.CacheHits)
+	for _, q := range c.Queries() {
+		fmt.Printf("query %d: %d tuples\n", q.ID, len(c.Answer(q.ID)))
+	}
+}
+
+// runOnce is the classic single-session path: one dial, fatal on any
+// connection error.
+func runOnce(queries []query.Query, addr string, id, cycles int, cache bool) *client.Client {
+	conn, err := daemon.Dial(addr, id)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer conn.Close()
 
-	c := client.New(*id)
-	if *cache {
+	c := client.New(id, queries...)
+	if cache {
 		c.EnableCache()
 	}
-	for i, r := range rects {
-		q := query.Range(query.ID(i+1), r)
-		c.AddQuery(q)
+	for _, q := range queries {
 		if err := conn.Subscribe(q); err != nil {
 			log.Fatal(err)
 		}
@@ -88,10 +119,10 @@ func main() {
 	if err := conn.Ready(); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("qsubctl: subscribed %d queries as client %d, waiting for cycles...", len(rects), *id)
+	log.Printf("qsubctl: subscribed %d queries as client %d, waiting for cycles...", len(queries), id)
 
 	answers := 0
-	for answers < *cycles {
+	for answers < cycles {
 		ev, err := conn.Next()
 		if err != nil {
 			log.Fatal(err)
@@ -104,19 +135,73 @@ func main() {
 			log.Printf("qsubctl: server error: %s", ev.Err.Msg)
 		case ev.Answer != nil:
 			c.Handle(*ev.Answer)
-			if _, addressed := ev.Answer.EntryFor(*id); addressed {
+			if _, addressed := ev.Answer.EntryFor(id); addressed {
 				answers++
 			}
 		}
 	}
+	return c
+}
 
-	st := c.Stats()
-	fmt.Printf("messages seen %d, addressed %d; bytes relevant %d, irrelevant %d, filtered %d; gaps %d; cache hits %d\n",
-		st.MessagesSeen, st.MessagesAddressed, st.RelevantBytes, st.IrrelevantBytes,
-		st.FilteredBytes, st.GapsDetected, st.CacheHits)
-	for _, q := range c.Queries() {
-		fmt.Printf("query %d: %d tuples\n", q.ID, len(c.Answer(q.ID)))
+// runResilient drives the session through the netclient runtime:
+// automatic reconnect with backoff, resubscription after each connect,
+// and full-refresh gap recovery.
+func runResilient(queries []query.Query, addr string, id, cycles int, cache bool,
+	minBackoff, maxBackoff time.Duration, maxAttempts int) *client.Client {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	answers := make(chan struct{}, 64)
+	nc, err := netclient.New(netclient.Config{
+		Addr:        addr,
+		ClientID:    id,
+		Queries:     queries,
+		MinBackoff:  minBackoff,
+		MaxBackoff:  maxBackoff,
+		MaxAttempts: maxAttempts,
+		Logf:        log.Printf,
+		OnEvent: func(ev daemon.Event) {
+			switch {
+			case ev.Assigned != nil:
+				log.Printf("qsubctl: assigned to channel %d (cycle cost %.0f, unmerged %.0f)",
+					ev.Assigned.Channel, ev.Assigned.EstimatedCost, ev.Assigned.InitialCost)
+			case ev.Err != nil:
+				log.Printf("qsubctl: server error: %s", ev.Err.Msg)
+			case ev.Answer != nil:
+				if _, addressed := ev.Answer.EntryFor(id); addressed {
+					select {
+					case answers <- struct{}{}:
+					default:
+					}
+				}
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
+	if cache {
+		nc.Extractor().EnableCache()
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- nc.Run(ctx) }()
+	log.Printf("qsubctl: resilient session for %d queries as client %d, waiting for cycles...", len(queries), id)
+
+	for seen := 0; seen < cycles; {
+		select {
+		case <-answers:
+			seen++
+		case err := <-runDone:
+			log.Fatalf("qsubctl: session ended: %v", err)
+		}
+	}
+	cancel()
+	<-runDone
+	st := nc.Stats()
+	if st.Connects > 1 || st.GapRefreshes > 0 {
+		log.Printf("qsubctl: resilience: %d connects, %d dial failures, %d gap refreshes, %d resume refreshes",
+			st.Connects, st.DialFailures, st.GapRefreshes, st.ResumeRefreshes)
+	}
+	return nc.Extractor()
 }
 
 // loadWorkload reads the queries of a qsubgen JSON document.

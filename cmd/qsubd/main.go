@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +24,7 @@ import (
 	"qsub/internal/chanalloc"
 	"qsub/internal/cost"
 	"qsub/internal/daemon"
+	"qsub/internal/multicast"
 	"qsub/internal/relation"
 	"qsub/internal/server"
 	"qsub/internal/trace"
@@ -46,8 +48,18 @@ func main() {
 		subsFile = flag.String("subs", "", "restore subscriptions from this file at start; save to it on SIGINT/SIGTERM")
 		feed     = flag.Int("feed", 0, "insert this many new objects per cycle (continuous-feed mode)")
 		admin    = flag.String("admin", "", "serve the admin endpoint (/metrics, /healthz, /statusz, /debug/pprof) on this address")
+
+		readIdle   = flag.Duration("read-idle", 5*time.Minute, "drop a session that sends no frame for this long (0 disables)")
+		writeTO    = flag.Duration("write-timeout", daemon.DefaultWriteTimeout, "per-frame write deadline for session connections (0 disables)")
+		subBuffer  = flag.Int("sub-buffer", daemon.DefaultSubscriberBuffer, "per-session delivery queue depth")
+		slowPolicy = flag.String("slow-policy", "evict", "what a publish does when a session's queue is full: evict, drop or block")
 	)
 	flag.Parse()
+
+	policy, err := multicast.ParsePolicy(*slowPolicy)
+	if err != nil {
+		log.Fatalf("qsubd: %v", err)
+	}
 
 	wl := workload.DefaultConfig()
 	wl.Seed = *seed
@@ -81,6 +93,10 @@ func main() {
 		log.Fatal(err)
 	}
 	d.Logf = log.Printf
+	d.ReadIdleTimeout = *readIdle
+	d.WriteTimeout = *writeTO
+	d.SubscriberBuffer = *subBuffer
+	d.SlowPolicy = policy
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -122,43 +138,20 @@ func main() {
 		}
 	}
 
-	if *snapshot != "" || *subsFile != "" {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			if *snapshot != "" {
-				f, err := os.Create(*snapshot)
-				if err == nil {
-					err = rel.WriteSnapshot(f)
-					f.Close()
-				}
-				if err != nil {
-					log.Printf("qsubd: saving snapshot: %v", err)
-				} else {
-					log.Printf("qsubd: snapshot of %d tuples saved to %s", rel.Len(), *snapshot)
-				}
-			}
-			if *subsFile != "" {
-				f, err := os.Create(*subsFile)
-				if err == nil {
-					err = d.SaveSubscriptions(f)
-					f.Close()
-				}
-				if err != nil {
-					log.Printf("qsubd: saving subscriptions: %v", err)
-				} else {
-					log.Printf("qsubd: subscriptions saved to %s", *subsFile)
-				}
-			}
-			os.Exit(0)
-		}()
-	}
+	// SIGINT/SIGTERM cancel the context; Serve then drains sessions,
+	// sends each a Bye and returns, after which state is persisted.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	go func() {
 		ticker := time.NewTicker(*period)
 		defer ticker.Stop()
-		for range ticker.C {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
 			for i := 0; i < *feed; i++ {
 				rel.Insert(gen.Points(1)[0], []byte("feed-object"))
 			}
@@ -172,8 +165,34 @@ func main() {
 		}
 	}()
 
-	if err := d.Serve(ln); err != nil {
+	if err := d.Serve(ctx, ln); err != nil {
 		log.Fatal(err)
+	}
+	log.Printf("qsubd: shut down gracefully")
+
+	if *snapshot != "" {
+		f, err := os.Create(*snapshot)
+		if err == nil {
+			err = rel.WriteSnapshot(f)
+			f.Close()
+		}
+		if err != nil {
+			log.Printf("qsubd: saving snapshot: %v", err)
+		} else {
+			log.Printf("qsubd: snapshot of %d tuples saved to %s", rel.Len(), *snapshot)
+		}
+	}
+	if *subsFile != "" {
+		f, err := os.Create(*subsFile)
+		if err == nil {
+			err = d.SaveSubscriptions(f)
+			f.Close()
+		}
+		if err != nil {
+			log.Printf("qsubd: saving subscriptions: %v", err)
+		} else {
+			log.Printf("qsubd: subscriptions saved to %s", *subsFile)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -36,7 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go d.Serve(ln)
+	go d.Serve(context.Background(), ln)
 	defer d.Close()
 	fmt.Printf("daemon listening on %s\n", ln.Addr())
 

@@ -22,6 +22,13 @@ func Dial(addr string, clientID int) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewConn(c, clientID)
+}
+
+// NewConn introduces the client over an existing connection (e.g. one
+// wrapped for fault injection) and returns the session handle. On error
+// the connection is closed.
+func NewConn(c net.Conn, clientID int) (*Conn, error) {
 	if err := wire.WriteFrame(c, wire.TypeHello, wire.MarshalHello(wire.Hello{ClientID: clientID})); err != nil {
 		c.Close()
 		return nil, err
@@ -49,6 +56,13 @@ func (c *Conn) Unsubscribe(id query.ID) error {
 // Ready signals that the client finished registering subscriptions.
 func (c *Conn) Ready() error {
 	return wire.WriteFrame(c.conn, wire.TypeReady, nil)
+}
+
+// Refresh asks the daemon to publish full answers on the next cycle
+// instead of a delta — the gap-recovery request a client sends after its
+// sequence numbers show it missed messages.
+func (c *Conn) Refresh() error {
+	return wire.WriteFrame(c.conn, wire.TypeRefresh, nil)
 }
 
 // Event is one server-pushed frame, decoded. Exactly one field is set.

@@ -4,15 +4,24 @@
 // subscriptions, is told its channel assignment after every planning
 // cycle, and receives the merged answers of its channel as TypeAnswer
 // frames — the deployable version of the BADD dissemination loop (§2).
+//
+// The delivery layer is built to degrade gracefully under slow, dead and
+// reconnecting clients: per-session bounded multicast queues with a
+// slow-consumer policy (default: evict), read-idle and per-frame write
+// deadlines, a supersede rule so a reconnecting client id replaces its
+// half-open predecessor, and context-based graceful shutdown that drains
+// forwarders before closing connections.
 package daemon
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"qsub/internal/metrics"
 	"qsub/internal/multicast"
@@ -21,6 +30,12 @@ import (
 	"qsub/internal/server"
 	"qsub/internal/trace"
 	"qsub/internal/wire"
+)
+
+// Default session-hardening parameters; see the matching Daemon fields.
+const (
+	DefaultWriteTimeout     = 10 * time.Second
+	DefaultSubscriberBuffer = 256
 )
 
 // Daemon is the network front end of a subscription server. Plans are
@@ -36,12 +51,13 @@ type Daemon struct {
 	sessions map[int]*session
 	closed   bool
 
-	planMu   sync.Mutex
-	cycle    *server.Cycle
-	dirty    bool
-	estimate float64
-	drift    server.DriftMonitor
-	replans  int
+	planMu       sync.Mutex
+	cycle        *server.Cycle
+	dirty        bool
+	refreshForce bool // a client requested full answers on the next cycle
+	estimate     float64
+	drift        server.DriftMonitor
+	replans      int
 
 	wg sync.WaitGroup
 	// Logf receives diagnostic messages; nil silences them.
@@ -49,6 +65,22 @@ type Daemon struct {
 	// Trace, when set, records control-plane events (plans, publishes,
 	// subscription changes, drift) as JSON lines.
 	Trace *trace.Recorder
+
+	// ReadIdleTimeout bounds how long a session may go without sending a
+	// frame before it is dropped (half-open connection reaping). Zero
+	// disables the idle check. Set before Serve.
+	ReadIdleTimeout time.Duration
+	// WriteTimeout bounds each frame write to a session; a write that
+	// cannot complete in time fails and the session is dropped. Zero
+	// disables write deadlines. Set before Serve.
+	WriteTimeout time.Duration
+	// SubscriberBuffer is the per-session multicast delivery queue
+	// depth. Set before Serve.
+	SubscriberBuffer int
+	// SlowPolicy decides what a publish does when a session's delivery
+	// queue is full (default multicast.Evict: the session is dropped and
+	// counted, and the publish cycle never blocks). Set before Serve.
+	SlowPolicy multicast.Policy
 }
 
 // session is one connected TCP client.
@@ -56,10 +88,53 @@ type session struct {
 	clientID int
 	conn     net.Conn
 
-	writeMu sync.Mutex // serializes frames onto conn
+	writeMu      sync.Mutex // serializes frames onto conn
+	writeTimeout time.Duration
 
-	mu  sync.Mutex
-	sub *multicast.Subscription // current channel attachment
+	mu      sync.Mutex
+	sub     *multicast.Subscription // current channel attachment
+	fwdDone chan struct{}           // closed when the current forwarder exits
+	queries map[query.ID]struct{}   // query ids this session registered
+	gone    bool                    // dropped or superseded; bind must not attach
+}
+
+// trackQuery records a successfully registered query id. It reports
+// false when the session is already being torn down, in which case the
+// caller must release the registration itself.
+func (s *session) trackQuery(id query.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gone {
+		return false
+	}
+	if s.queries == nil {
+		s.queries = make(map[query.ID]struct{})
+	}
+	s.queries[id] = struct{}{}
+	return true
+}
+
+func (s *session) untrackQuery(id query.ID) {
+	s.mu.Lock()
+	delete(s.queries, id)
+	s.mu.Unlock()
+}
+
+// takeTeardown flips the session into the gone state and hands the
+// caller everything that needs releasing: the current subscription, the
+// forwarder join channel and the tracked query ids.
+func (s *session) takeTeardown() (sub *multicast.Subscription, fwdDone chan struct{}, ids []query.ID) {
+	s.mu.Lock()
+	s.gone = true
+	sub, s.sub = s.sub, nil
+	fwdDone, s.fwdDone = s.fwdDone, nil
+	ids = make([]query.ID, 0, len(s.queries))
+	for id := range s.queries {
+		ids = append(ids, id)
+	}
+	s.queries = nil
+	s.mu.Unlock()
+	return sub, fwdDone, ids
 }
 
 // New creates a daemon over a relation with the given channel count and
@@ -84,6 +159,10 @@ func New(rel *relation.Relation, channels int, cfg server.Config) (*Daemon, erro
 		net:      mnet,
 		metrics:  cfg.Metrics,
 		sessions: make(map[int]*session),
+
+		WriteTimeout:     DefaultWriteTimeout,
+		SubscriberBuffer: DefaultSubscriberBuffer,
+		SlowPolicy:       multicast.Evict,
 	}, nil
 }
 
@@ -94,17 +173,40 @@ func (d *Daemon) Metrics() *metrics.Catalog { return d.metrics }
 // direct planning in tests).
 func (d *Daemon) Server() *server.Server { return d.srv }
 
+// Network exposes the daemon's multicast network (for delivery-layer
+// stats in tests and status reporting).
+func (d *Daemon) Network() *multicast.Network { return d.net }
+
 func (d *Daemon) logf(format string, args ...any) {
 	if d.Logf != nil {
 		d.Logf(format, args...)
 	}
 }
 
-// Serve accepts connections until the listener fails or Close is called.
-func (d *Daemon) Serve(ln net.Listener) error {
+// Serve accepts connections until ctx is canceled, the listener fails,
+// or Close is called. Cancellation shuts down gracefully: the listener
+// closes, every session's forwarder is canceled and drained, each
+// session receives a Bye frame, and connections are closed.
+func (d *Daemon) Serve(ctx context.Context, ln net.Listener) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close() // unblock Accept
+		case <-stop:
+		}
+	}()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if ctx.Err() != nil {
+				d.Shutdown()
+				return nil
+			}
 			d.mu.Lock()
 			closed := d.closed
 			d.mu.Unlock()
@@ -123,11 +225,28 @@ func (d *Daemon) Serve(ln net.Listener) error {
 	}
 }
 
+// readFrame reads one frame under the daemon's idle deadline, counting
+// expiries.
+func (d *Daemon) readFrame(conn net.Conn) (uint8, []byte, error) {
+	if d.ReadIdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(d.ReadIdleTimeout))
+	}
+	ft, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			d.metrics.SessionsExpired.Inc()
+			return 0, nil, fmt.Errorf("daemon: session idle past %s: %w", d.ReadIdleTimeout, err)
+		}
+	}
+	return ft, payload, err
+}
+
 // handle runs one client session: Hello, then subscription management
 // until Bye or disconnect.
 func (d *Daemon) handle(conn net.Conn) error {
 	defer conn.Close()
-	ft, payload, err := wire.ReadFrame(conn)
+	ft, payload, err := d.readFrame(conn)
 	if err != nil {
 		return err
 	}
@@ -138,24 +257,25 @@ func (d *Daemon) handle(conn net.Conn) error {
 	if err != nil {
 		return err
 	}
-	sess := &session{clientID: hello.ClientID, conn: conn}
+	sess := &session{clientID: hello.ClientID, conn: conn, writeTimeout: d.WriteTimeout}
 
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		return errors.New("daemon: closed")
 	}
-	if _, dup := d.sessions[hello.ClientID]; dup {
-		d.mu.Unlock()
-		sess.sendError(fmt.Sprintf("client id %d already connected", hello.ClientID))
-		return fmt.Errorf("daemon: duplicate client id %d", hello.ClientID)
-	}
+	old := d.sessions[hello.ClientID]
 	d.sessions[hello.ClientID] = sess
 	d.mu.Unlock()
+	if old != nil {
+		// Supersede rule: a reconnecting client id replaces its
+		// (typically half-open) predecessor instead of being rejected.
+		d.supersede(old)
+	}
 	defer d.dropSession(sess)
 
 	for {
-		ft, payload, err := wire.ReadFrame(conn)
+		ft, payload, err := d.readFrame(conn)
 		if err != nil {
 			return err
 		}
@@ -167,6 +287,11 @@ func (d *Daemon) handle(conn net.Conn) error {
 			}
 			if err := d.srv.Subscribe(sess.clientID, sub.Query); err != nil {
 				sess.sendError(err.Error())
+			} else if !sess.trackQuery(sub.Query.ID) {
+				// Torn down between registration and tracking (a
+				// supersede racing a late frame): release immediately.
+				d.srv.Unsubscribe(sess.clientID, sub.Query.ID)
+				return errors.New("daemon: session superseded")
 			} else {
 				d.markDirty()
 				d.record(trace.Event{Kind: trace.KindSubscribe,
@@ -180,6 +305,7 @@ func (d *Daemon) handle(conn net.Conn) error {
 			if !d.srv.Unsubscribe(sess.clientID, unsub.ID) {
 				sess.sendError(fmt.Sprintf("no subscription with id %d", unsub.ID))
 			} else {
+				sess.untrackQuery(unsub.ID)
 				d.markDirty()
 				d.record(trace.Event{Kind: trace.KindUnsubscribe,
 					ClientID: sess.clientID, QueryID: uint64(unsub.ID)})
@@ -188,6 +314,13 @@ func (d *Daemon) handle(conn net.Conn) error {
 			// Ready is a synchronization hint: clients send it after
 			// their subscriptions so the operator (or test) knows a
 			// cycle can run. The daemon itself plans on RunCycle.
+		case wire.TypeRefresh:
+			// Gap recovery: the client missed messages and wants full
+			// answers instead of a delta on the next cycle.
+			d.planMu.Lock()
+			d.refreshForce = true
+			d.planMu.Unlock()
+			d.logf("daemon: client %d requested a full refresh", sess.clientID)
 		case wire.TypeBye:
 			return nil
 		default:
@@ -196,24 +329,53 @@ func (d *Daemon) handle(conn net.Conn) error {
 	}
 }
 
+// supersede tears down a predecessor session synchronously so its
+// replacement starts from a clean registry: cancel its channel
+// attachment, close its connection (unblocking any in-flight write),
+// join its forwarder and release its queries.
+func (d *Daemon) supersede(old *session) {
+	sub, fwdDone, ids := old.takeTeardown()
+	if sub != nil {
+		sub.Cancel()
+	}
+	old.conn.Close()
+	if fwdDone != nil {
+		<-fwdDone
+	}
+	for _, id := range ids {
+		d.srv.Unsubscribe(old.clientID, id)
+	}
+	if len(ids) > 0 {
+		d.markDirty()
+	}
+	d.metrics.SessionsSuperseded.Inc()
+	d.logf("daemon: client %d superseded by a new connection", old.clientID)
+}
+
 // dropSession removes a finished session and releases its queries so the
-// next cycle stops addressing a gone client.
+// next cycle stops addressing a gone client. Query ids are tracked on
+// the session at Subscribe/Unsubscribe time, so teardown needs no
+// throwaway plan and cannot leak subscriptions when planning would fail.
 func (d *Daemon) dropSession(sess *session) {
 	d.mu.Lock()
 	if d.sessions[sess.clientID] == sess {
 		delete(d.sessions, sess.clientID)
 	}
 	d.mu.Unlock()
-	sess.mu.Lock()
-	if sess.sub != nil {
-		sess.sub.Cancel()
-		sess.sub = nil
+	sub, fwdDone, ids := sess.takeTeardown()
+	if sub != nil {
+		sub.Cancel()
 	}
-	sess.mu.Unlock()
-	for _, q := range d.clientQueries(sess.clientID) {
-		d.srv.Unsubscribe(sess.clientID, q)
+	sess.conn.Close() // unblock a forwarder stuck writing
+	if fwdDone != nil {
+		<-fwdDone
 	}
-	d.markDirty()
+	for _, id := range ids {
+		d.srv.Unsubscribe(sess.clientID, id)
+	}
+	if len(ids) > 0 {
+		d.markDirty()
+	}
 }
 
 // record emits one trace event when tracing is enabled.
@@ -247,31 +409,19 @@ func (d *Daemon) Replans() int {
 	return d.replans
 }
 
-// clientQueries lists the query ids a client currently subscribes, via a
-// throwaway plan; used only during session teardown.
-func (d *Daemon) clientQueries(clientID int) []query.ID {
-	cy, err := d.srv.Plan()
-	if err != nil {
-		return nil
-	}
-	var ids []query.ID
-	for i, owner := range cy.Owners {
-		if owner == clientID {
-			ids = append(ids, cy.Queries[i].ID)
-		}
-	}
-	return ids
-}
-
 // RunCycle publishes the current merged plan (full answers when delta is
 // false, per-period deltas when true). The plan is recomputed — and every
 // connected client re-informed of its channel assignment — only when
 // subscriptions changed since the last cycle or the drift monitor reports
-// that the cached plan's size estimates no longer match reality.
+// that the cached plan's size estimates no longer match reality. In
+// delta mode, a pending client refresh request (gap recovery) turns this
+// cycle's publish into full answers.
 func (d *Daemon) RunCycle(delta bool) (server.Report, error) {
 	d.planMu.Lock()
 	needPlan := d.cycle == nil || d.dirty || d.drift.ShouldReplan()
 	cy := d.cycle
+	forceFull := d.refreshForce
+	d.refreshForce = false
 	d.planMu.Unlock()
 
 	if needPlan {
@@ -320,6 +470,16 @@ func (d *Daemon) RunCycle(delta bool) (server.Report, error) {
 		}
 	}
 
+	if delta && forceFull {
+		// Gap recovery: ship full answers once so reconnected or
+		// message-lossy clients rebuild complete state.
+		rep, err := d.srv.Publish(cy)
+		if err == nil {
+			d.record(trace.Event{Kind: trace.KindPublish,
+				Messages: rep.Messages, Tuples: rep.Tuples, PayloadBytes: rep.PayloadBytes})
+		}
+		return rep, err
+	}
 	if delta {
 		rep, err := d.srv.PublishDelta(cy)
 		if err == nil {
@@ -346,41 +506,83 @@ func (d *Daemon) RunCycle(delta bool) (server.Report, error) {
 
 // bind attaches the session to the channel, replacing any previous
 // attachment, and starts the forwarder goroutine that turns multicast
-// messages into TypeAnswer frames.
+// messages into TypeAnswer frames. The old forwarder is canceled and
+// joined before the new subscription is installed, so a rebound session
+// can never interleave frames from two channels.
 func (d *Daemon) bind(sess *session, channel int) error {
-	sub, err := d.net.Subscribe(channel, 256)
-	if err != nil {
-		return err
-	}
 	sess.mu.Lock()
-	old := sess.sub
-	sess.sub = sub
+	old, oldDone := sess.sub, sess.fwdDone
+	sess.sub, sess.fwdDone = nil, nil
 	sess.mu.Unlock()
 	if old != nil {
 		old.Cancel()
 	}
+	if oldDone != nil {
+		<-oldDone
+	}
+
+	sub, err := d.net.SubscribeWith(channel, d.SubscriberBuffer, d.SlowPolicy)
+	if err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	sess.mu.Lock()
+	if sess.gone {
+		// The session was dropped while we were joining; don't leak a
+		// subscription nobody will ever cancel.
+		sess.mu.Unlock()
+		sub.Cancel()
+		return errors.New("daemon: session gone")
+	}
+	sess.sub, sess.fwdDone = sub, done
+	sess.mu.Unlock()
+
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
+		defer close(done)
 		// One encode buffer per forwarder: send writes the frame before
 		// returning, so the buffer can be reused for the next message
 		// without allocating in steady state.
 		var buf []byte
+		var werr error
 		for msg := range sub.C {
 			buf = wire.MarshalMessageAppend(buf[:0], msg)
-			if err := sess.send(wire.TypeAnswer, buf); err != nil {
+			if werr = sess.send(wire.TypeAnswer, buf); werr != nil {
 				sub.Cancel()
-				return
+				break
 			}
+		}
+		// An eviction can land while the forwarder is blocked in a
+		// write, so the evicted check must cover both exit paths.
+		switch {
+		case sub.Evicted():
+			d.metrics.SessionsEvicted.Inc()
+			d.logf("daemon: client %d evicted as a slow consumer on channel %d", sess.clientID, sub.Channel())
+			sess.sendError(fmt.Sprintf("evicted: delivery queue full on channel %d", sub.Channel()))
+			// The session cannot make progress without its answer
+			// stream; closing the conn lets the read loop tear the
+			// whole session down.
+			sess.conn.Close()
+		case werr != nil:
+			var ne net.Error
+			if errors.As(werr, &ne) && ne.Timeout() {
+				d.metrics.SessionsExpired.Inc()
+			}
+			sess.conn.Close()
 		}
 	}()
 	return nil
 }
 
-// send writes one frame to the session's connection.
+// send writes one frame to the session's connection under the
+// daemon's write deadline.
 func (s *session) send(frameType uint8, payload []byte) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
+	if s.writeTimeout > 0 {
+		s.conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+	}
 	return wire.WriteFrame(s.conn, frameType, payload)
 }
 
@@ -390,9 +592,17 @@ func (s *session) sendError(msg string) {
 	}
 }
 
-// Close shuts the daemon down: the multicast network closes (ending all
-// forwarders) and every session connection is closed.
-func (d *Daemon) Close() {
+// Close shuts the daemon down immediately: the multicast network closes
+// (ending all forwarders) and every session connection is closed.
+func (d *Daemon) Close() { d.shutdown(false) }
+
+// Shutdown shuts the daemon down gracefully: every session's forwarder
+// is canceled and joined (draining already-queued answers, bounded by
+// the write deadline), each session receives a Bye frame, and only then
+// are connections closed. Serve calls it on context cancellation.
+func (d *Daemon) Shutdown() { d.shutdown(true) }
+
+func (d *Daemon) shutdown(graceful bool) {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -404,6 +614,21 @@ func (d *Daemon) Close() {
 		sessions = append(sessions, s)
 	}
 	d.mu.Unlock()
+	if graceful {
+		for _, s := range sessions {
+			s.mu.Lock()
+			sub, done := s.sub, s.fwdDone
+			s.sub, s.fwdDone = nil, nil
+			s.mu.Unlock()
+			if sub != nil {
+				sub.Cancel() // forwarder drains buffered answers, then exits
+			}
+			if done != nil {
+				<-done
+			}
+			s.send(wire.TypeBye, nil) // best-effort farewell
+		}
+	}
 	d.net.Close()
 	for _, s := range sessions {
 		s.conn.Close()
@@ -437,17 +662,21 @@ func (d *Daemon) SaveSubscriptions(w io.Writer) error {
 }
 
 // LoadSubscriptions restores a registry written by SaveSubscriptions. It
-// returns the number of subscriptions restored.
-func (d *Daemon) LoadSubscriptions(r io.Reader) (int, error) {
-	restored := 0
+// returns the number of subscriptions restored. The plan is marked dirty
+// whenever anything was restored — including when an error cuts the
+// restore short mid-file — so the next cycle never publishes a plan that
+// predates the partial restore.
+func (d *Daemon) LoadSubscriptions(r io.Reader) (restored int, err error) {
+	defer func() {
+		if restored > 0 {
+			d.markDirty()
+		}
+	}()
 	clientID := 0
 	haveClient := false
 	for {
 		ft, payload, err := wire.ReadFrame(r)
 		if err == io.EOF {
-			if restored > 0 {
-				d.markDirty()
-			}
 			return restored, nil
 		}
 		if err != nil {

@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"net"
 	"sync"
@@ -34,7 +35,7 @@ func startDaemon(t *testing.T, channels int) (*Daemon, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go d.Serve(ln)
+	go d.Serve(context.Background(), ln)
 	t.Cleanup(func() {
 		d.Close()
 		ln.Close()
@@ -168,29 +169,62 @@ func TestDaemonMultipleClientsAcrossChannels(t *testing.T) {
 	}
 }
 
-func TestDaemonDuplicateClientRejected(t *testing.T) {
+// TestDaemonDuplicateClientSupersedes: a reconnect with the same client
+// id replaces the (possibly half-open) predecessor session — the old
+// session's queries are released, the old connection is torn down, and
+// the new session works normally.
+func TestDaemonDuplicateClientSupersedes(t *testing.T) {
 	d, addr := startDaemon(t, 1)
 	a, err := Dial(addr, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	// Make sure a's Hello has been processed before the duplicate
+	// Make sure a's Hello has been processed before the reconnect
 	// arrives (frames are handled asynchronously).
 	if err := a.Subscribe(query.Range(1, geom.R(0, 0, 10, 10))); err != nil {
 		t.Fatal(err)
 	}
 	waitForSubscriptions(t, d, 1)
 
+	// The predecessor is left half-open: it never says Bye.
 	b, err := Dial(addr, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer b.Close()
-	ev, err := b.Next()
-	if err == nil && ev.Err == nil {
-		t.Fatal("duplicate client id should produce an error frame or disconnect")
+	if err := b.Subscribe(query.Range(2, geom.R(20, 20, 40, 40))); err != nil {
+		t.Fatal(err)
 	}
+	// The registry must converge to exactly b's query: a's was released
+	// by the supersede, not merely shadowed.
+	deadline := time.After(5 * time.Second)
+	for {
+		cy, err := d.Server().Plan()
+		if err == nil && len(cy.Queries) == 1 && cy.Queries[0].ID == 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("registry never converged to the successor's query (err=%v)", err)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if got := d.Metrics().SessionsSuperseded.Load(); got != 1 {
+		t.Fatalf("SessionsSuperseded = %d, want 1", got)
+	}
+	// The predecessor's connection was closed by the daemon.
+	if _, err := a.Next(); err == nil {
+		t.Fatal("superseded session's connection should be closed")
+	}
+	// The successor still operates: it gets an assignment and answers.
+	waitForSubscriptions(t, d, 1)
+	if _, err := d.RunCycle(false); err != nil {
+		t.Fatal(err)
+	}
+	drainUntil(t, b, 5*time.Second, func(ev Event) bool {
+		return ev.Answer != nil
+	})
 }
 
 func TestDaemonUnsubscribe(t *testing.T) {

@@ -65,6 +65,12 @@ type Catalog struct {
 	// multicast fan-out.
 	FanoutDeliveries *Counter
 	FanoutDropped    *Counter
+	FanoutEvictions  *Counter
+
+	// daemon session lifecycle.
+	SessionsEvicted    *Counter
+	SessionsSuperseded *Counter
+	SessionsExpired    *Counter
 
 	// Client-side extractor.
 	ClientKeptTuples       *Counter
@@ -113,7 +119,12 @@ func NewCatalog(channels int) *Catalog {
 		DeltaDeletions:   r.Counter("qsub_delta_deletions_total", "deleted tuple ids carried by delta batches"),
 
 		FanoutDeliveries: r.Counter("qsub_fanout_deliveries_total", "multicast message deliveries to subscribed sessions"),
-		FanoutDropped:    r.Counter("qsub_fanout_dropped_total", "multicast deliveries dropped (no capacity)"),
+		FanoutDropped:    r.Counter("qsub_fanout_dropped_total", "multicast deliveries dropped (loss injection or full buffer under the drop policy)"),
+		FanoutEvictions:  r.Counter("qsub_fanout_evictions_total", "subscriptions evicted because their delivery buffer was full at publish time"),
+
+		SessionsEvicted:    r.Counter("qsub_sessions_evicted_total", "daemon sessions dropped as slow consumers"),
+		SessionsSuperseded: r.Counter("qsub_sessions_superseded_total", "daemon sessions replaced by a reconnect with the same client id"),
+		SessionsExpired:    r.Counter("qsub_sessions_expired_total", "daemon sessions dropped on read-idle or write deadline expiry"),
 
 		ClientKeptTuples:       r.Counter("qsub_client_kept_tuples_total", "tuples kept by the client extractor"),
 		ClientFilteredMessages: r.Counter("qsub_client_filtered_messages_total", "messages discarded by clients as unaddressed"),

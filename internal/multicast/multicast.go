@@ -10,6 +10,16 @@
 // delivered, and per-delivery fan-out) so experiments can compare measured
 // traffic against the cost model's size(M) and U(Q,M) predictions.
 // Optional random loss injection exercises client-side gap detection.
+//
+// Delivery is crash-proof under concurrent cancellation: every
+// subscription carries a send gate (a mutex plus a closed flag) that
+// Publish checks before touching the subscriber's channel, so Cancel and
+// Close can never race a publish into a send on a closed channel. What
+// happens when a subscriber's buffer is full is a per-subscription
+// Policy: Block (backpressure, the simulator default), Evict (cancel the
+// slow consumer so one stalled client never holds up a publish cycle),
+// or DropNewest (skip the message for that subscriber, surfacing as a
+// sequence gap).
 package multicast
 
 import (
@@ -103,12 +113,66 @@ type Stats struct {
 	PayloadBytesDelivered uint64
 	// Dropped counts deliveries suppressed by loss injection.
 	Dropped uint64
+	// SlowEvictions counts subscribers evicted because their buffer was
+	// full when a publish arrived (Policy Evict).
+	SlowEvictions uint64
+	// OverflowDrops counts deliveries skipped because the subscriber's
+	// buffer was full (Policy DropNewest); they surface to the client as
+	// sequence gaps.
+	OverflowDrops uint64
+}
+
+// Policy selects what Publish does when a subscriber's delivery buffer is
+// full.
+type Policy int
+
+const (
+	// Block applies backpressure: the publish waits until the subscriber
+	// drains (or is canceled). One stalled subscriber stalls the cycle,
+	// but no data is lost — the in-process simulator default.
+	Block Policy = iota
+	// Evict cancels the slow subscriber and counts it in
+	// Stats.SlowEvictions, so a publish cycle always completes. The
+	// daemon's delivery layer uses this by default.
+	Evict
+	// DropNewest skips this delivery for the full subscriber only,
+	// counted in Stats.OverflowDrops; the subscriber observes a sequence
+	// gap and can request recovery.
+	DropNewest
+)
+
+// String returns the policy's flag spelling.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Evict:
+		return "evict"
+	case DropNewest:
+		return "drop"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps the flag spellings back to policies.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "evict":
+		return Evict, nil
+	case "drop":
+		return DropNewest, nil
+	}
+	return Block, fmt.Errorf("multicast: unknown slow-consumer policy %q (want block, evict or drop)", s)
 }
 
 // Network is a set of logical multicast channels.
 type Network struct {
 	channels int
 	lossRate float64
+	policy   Policy // default for Subscribe
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -126,6 +190,8 @@ type Network struct {
 	deliveries            atomic.Uint64
 	payloadBytesDelivered atomic.Uint64
 	dropped               atomic.Uint64
+	slowEvictions         atomic.Uint64
+	overflowDrops         atomic.Uint64
 
 	perChannel []channelCounters
 
@@ -133,6 +199,11 @@ type Network struct {
 	// additive to the built-in atomic counters above.
 	mDeliveries *metrics.Counter
 	mDropped    *metrics.Counter
+	mEvicted    *metrics.Counter
+
+	// onEvict, when set, observes each slow-consumer eviction after the
+	// subscription has been canceled (see SetEvictHandler).
+	onEvict func(*Subscription)
 }
 
 // channelCounters holds the per-channel slice of the traffic counters.
@@ -152,6 +223,12 @@ func WithLoss(rate float64, seed int64) Option {
 		n.lossRate = rate
 		n.rng = rand.New(rand.NewSource(seed))
 	}
+}
+
+// WithPolicy sets the slow-consumer policy Subscribe attaches to new
+// subscriptions (SubscribeWith overrides it per subscription).
+func WithPolicy(p Policy) Option {
+	return func(n *Network) { n.policy = p }
 }
 
 // NewNetwork creates a network with the given number of channels.
@@ -176,12 +253,29 @@ func (n *Network) Channels() int { return n.channels }
 
 // SetMetrics attaches fan-out counters to the network: deliveries
 // counts message copies handed to subscribers, dropped counts copies
-// suppressed by loss injection. Either may be nil. Call before
-// concurrent publishing.
-func (n *Network) SetMetrics(deliveries, dropped *metrics.Counter) {
+// suppressed by loss injection or the DropNewest policy, evicted counts
+// slow-consumer evictions. Any may be nil. Call before concurrent
+// publishing.
+func (n *Network) SetMetrics(deliveries, dropped, evicted *metrics.Counter) {
 	n.mDeliveries = deliveries
 	n.mDropped = dropped
+	n.mEvicted = evicted
 }
+
+// SetEvictHandler registers a callback observing slow-consumer
+// evictions. It is called from inside Publish, once per evicted
+// subscription, after the subscription has been canceled. Call before
+// concurrent publishing.
+func (n *Network) SetEvictHandler(h func(*Subscription)) { n.onEvict = h }
+
+// sendResult is the outcome of one delivery attempt.
+type sendResult int
+
+const (
+	sendOK   sendResult = iota // delivered
+	sendFull                   // buffer full, subscription still live
+	sendGone                   // subscription canceled
+)
 
 // Subscription is one client's attachment to a channel. Messages arrive
 // on C; Cancel detaches and closes C.
@@ -191,33 +285,114 @@ type Subscription struct {
 
 	net     *Network
 	channel int
+	policy  Policy
 	ch      chan Message
-	once    sync.Once
+	// done closes when Cancel runs, releasing publishers blocked in a
+	// backpressure send before ch itself is closed.
+	done chan struct{}
+	once sync.Once
+
+	// mu and closed form the send gate: every send on ch happens either
+	// under mu with closed false, or registered in inflight while closed
+	// was false. Cancel flips closed under mu, wakes blocked senders via
+	// done, waits out inflight, and only then closes ch — so a send on a
+	// closed channel is impossible by construction.
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+
+	evicted atomic.Bool
 }
 
+// Channel returns the channel index the subscription listens on.
+func (s *Subscription) Channel() int { return s.channel }
+
+// Evicted reports whether the subscription was canceled by the Evict
+// slow-consumer policy (as opposed to an explicit Cancel or network
+// Close). Consumers see the eviction as their range loop over C ending;
+// Evicted tells them why.
+func (s *Subscription) Evicted() bool { return s.evicted.Load() }
+
 // Cancel detaches the subscription and closes its message channel.
+// Messages already buffered remain readable. Cancel is idempotent and
+// safe to call concurrently with Publish from any goroutine.
 func (s *Subscription) Cancel() {
 	s.once.Do(func() {
-		s.net.mu.Lock()
-		subs := s.net.subs[s.channel]
-		for i, sub := range subs {
-			if sub == s {
-				next := make([]*Subscription, 0, len(subs)-1)
-				next = append(next, subs[:i]...)
-				next = append(next, subs[i+1:]...)
-				s.net.subs[s.channel] = next
-				break
-			}
-		}
-		s.net.mu.Unlock()
+		s.net.detach(s)
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		close(s.done)     // release publishers blocked in backpressure
+		s.inflight.Wait() // no sender is touching ch anymore
 		close(s.ch)
 	})
 }
 
+// trySend attempts a non-blocking delivery under the send gate.
+func (s *Subscription) trySend(msg Message) sendResult {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return sendGone
+	}
+	select {
+	case s.ch <- msg:
+		s.mu.Unlock()
+		return sendOK
+	default:
+	}
+	s.mu.Unlock()
+	return sendFull
+}
+
+// blockingSend waits for buffer space (backpressure); cancellation
+// releases it. The send itself happens outside mu but is covered by
+// inflight, which Cancel drains before closing ch.
+func (s *Subscription) blockingSend(msg Message) sendResult {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return sendGone
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+	select {
+	case s.ch <- msg:
+		return sendOK
+	case <-s.done:
+		return sendGone
+	}
+}
+
+// detach removes the subscription from its channel's subscriber list.
+func (n *Network) detach(s *Subscription) {
+	n.mu.Lock()
+	subs := n.subs[s.channel]
+	for i, sub := range subs {
+		if sub == s {
+			next := make([]*Subscription, 0, len(subs)-1)
+			next = append(next, subs[:i]...)
+			next = append(next, subs[i+1:]...)
+			n.subs[s.channel] = next
+			break
+		}
+	}
+	n.mu.Unlock()
+}
+
 // Subscribe attaches a listener to the channel with the given delivery
-// buffer. Publish blocks when a subscriber's buffer is full, so slow
-// consumers apply backpressure rather than losing data.
+// buffer and the network's default slow-consumer policy (Block unless
+// WithPolicy configured otherwise).
 func (n *Network) Subscribe(channel, buffer int) (*Subscription, error) {
+	return n.SubscribeWith(channel, buffer, n.policy)
+}
+
+// SubscribeWith attaches a listener with an explicit slow-consumer
+// policy. Under Block, Publish waits when the subscriber's buffer is
+// full; under Evict or DropNewest, Publish never blocks on this
+// subscriber.
+func (n *Network) SubscribeWith(channel, buffer int, policy Policy) (*Subscription, error) {
 	if channel < 0 || channel >= n.channels {
 		return nil, fmt.Errorf("multicast: channel %d outside [0,%d)", channel, n.channels)
 	}
@@ -230,7 +405,14 @@ func (n *Network) Subscribe(channel, buffer int) (*Subscription, error) {
 		return nil, fmt.Errorf("multicast: network closed")
 	}
 	ch := make(chan Message, buffer)
-	sub := &Subscription{C: ch, net: n, channel: channel, ch: ch}
+	sub := &Subscription{
+		C:       ch,
+		net:     n,
+		channel: channel,
+		policy:  policy,
+		ch:      ch,
+		done:    make(chan struct{}),
+	}
 	subs := n.subs[channel]
 	next := make([]*Subscription, 0, len(subs)+1)
 	next = append(next, subs...)
@@ -241,9 +423,9 @@ func (n *Network) Subscribe(channel, buffer int) (*Subscription, error) {
 
 // Publish places the message on its channel: one payload charge on the
 // wire, one delivery per current subscriber. The message's Seq field is
-// assigned by the network. Publish blocks until every subscriber has
-// buffer space (backpressure), so callers should drain subscriptions
-// concurrently.
+// assigned by the network. Publish blocks only on Block-policy
+// subscribers with full buffers; Evict and DropNewest subscribers can
+// never stall a publish cycle.
 func (n *Network) Publish(msg Message) error {
 	if msg.Channel < 0 || msg.Channel >= n.channels {
 		return fmt.Errorf("multicast: channel %d outside [0,%d)", msg.Channel, n.channels)
@@ -274,16 +456,42 @@ func (n *Network) Publish(msg Message) error {
 	n.perChannel[msg.Channel].messages.Add(1)
 	n.perChannel[msg.Channel].payload.Add(payload)
 	var delivered, droppedCount uint64
+	var evicted []*Subscription
 	for i, sub := range targets {
 		if drop != nil && drop[i] {
 			n.dropped.Add(1)
 			droppedCount++
 			continue
 		}
-		sub.ch <- msg
+		res := sub.trySend(msg)
+		if res == sendFull {
+			switch sub.policy {
+			case Block:
+				res = sub.blockingSend(msg)
+			case DropNewest:
+				n.overflowDrops.Add(1)
+				droppedCount++
+				continue
+			case Evict:
+				evicted = append(evicted, sub)
+				continue
+			}
+		}
+		if res != sendOK {
+			continue // canceled between snapshot and delivery
+		}
 		n.deliveries.Add(1)
 		n.payloadBytesDelivered.Add(payload)
 		delivered++
+	}
+	for _, sub := range evicted {
+		sub.evicted.Store(true) // before Cancel: consumers see why C closed
+		sub.Cancel()
+		n.slowEvictions.Add(1)
+		n.mEvicted.Inc()
+		if n.onEvict != nil {
+			n.onEvict(sub)
+		}
 	}
 	if delivered > 0 {
 		n.mDeliveries.Add(delivered)
@@ -303,6 +511,8 @@ func (n *Network) Stats() Stats {
 		Deliveries:            n.deliveries.Load(),
 		PayloadBytesDelivered: n.payloadBytesDelivered.Load(),
 		Dropped:               n.dropped.Load(),
+		SlowEvictions:         n.slowEvictions.Load(),
+		OverflowDrops:         n.overflowDrops.Load(),
 	}
 }
 
@@ -330,11 +540,8 @@ func (n *Network) Close() {
 	for _, subs := range n.subs {
 		all = append(all, subs...)
 	}
-	for ch := range n.subs {
-		n.subs[ch] = nil
-	}
 	n.mu.Unlock()
 	for _, sub := range all {
-		sub.once.Do(func() { close(sub.ch) })
+		sub.Cancel()
 	}
 }

@@ -1,0 +1,276 @@
+// Package netclient is the resilient client runtime for daemon sessions:
+// a reconnect loop with exponential backoff and jitter, automatic
+// re-registration of subscriptions after every reconnect, and
+// gap recovery — when sequence numbers show a missed message (or a whole
+// session was missed), the client asks the daemon for full answers on
+// the next cycle instead of silently extracting from an incomplete
+// stream.
+package netclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"qsub/internal/client"
+	"qsub/internal/daemon"
+	"qsub/internal/query"
+)
+
+// Session is the slice of a daemon connection the runtime drives. It is
+// satisfied by *daemon.Conn and small enough to fake in tests.
+type Session interface {
+	Subscribe(q query.Query) error
+	Ready() error
+	Refresh() error
+	Next() (daemon.Event, error)
+	Close() error
+}
+
+// Config parameterizes a resilient client.
+type Config struct {
+	// Addr is the daemon's address, passed to Dial.
+	Addr string
+	// ClientID identifies this client to the daemon.
+	ClientID int
+	// Queries are the subscriptions to register (and re-register after
+	// every reconnect).
+	Queries []query.Query
+
+	// MinBackoff is the base reconnect delay (default 100ms); the delay
+	// doubles per consecutive failure up to MaxBackoff (default 30s),
+	// with equal jitter so reconnect herds spread out.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// MaxAttempts caps consecutive failed dials before Run gives up;
+	// 0 retries forever (until the context ends).
+	MaxAttempts int
+	// JitterSeed seeds the backoff jitter; 0 derives one from the clock.
+	JitterSeed int64
+
+	// Dial opens a session. Nil uses daemon.Dial over TCP; tests inject
+	// fakes or fault-wrapped connections here.
+	Dial func(addr string, clientID int) (Session, error)
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+	// OnEvent, when set, observes every server-pushed event after the
+	// runtime has processed it.
+	OnEvent func(daemon.Event)
+}
+
+// Stats counts the resilience machinery's activity.
+type Stats struct {
+	// Connects is the number of sessions successfully established.
+	Connects int
+	// DialFailures counts failed connection attempts.
+	DialFailures int
+	// GapRefreshes counts full-refresh requests sent because sequence
+	// numbers showed a missed message.
+	GapRefreshes int
+	// ResumeRefreshes counts full-refresh requests sent after a
+	// reconnect to rebuild state missed while disconnected.
+	ResumeRefreshes int
+	// Channel is the most recent channel assignment (-1 before any).
+	Channel int
+}
+
+// Client runs daemon sessions until its context ends, extracting answers
+// through an embedded client.Client.
+type Client struct {
+	cfg Config
+	ext *client.Client
+
+	mu      sync.Mutex
+	stats   Stats
+	lastSeq map[int]uint64 // per-channel high-water sequence numbers
+}
+
+// New builds a resilient client. The extractor is created over
+// cfg.Queries; answers accumulate across reconnects.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.Queries) == 0 {
+		return nil, errors.New("netclient: no queries configured")
+	}
+	if cfg.MinBackoff <= 0 {
+		cfg.MinBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 30 * time.Second
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string, clientID int) (Session, error) {
+			return daemon.Dial(addr, clientID)
+		}
+	}
+	return &Client{
+		cfg:     cfg,
+		ext:     client.New(cfg.ClientID, cfg.Queries...),
+		stats:   Stats{Channel: -1},
+		lastSeq: make(map[int]uint64),
+	}, nil
+}
+
+// Extractor exposes the underlying answer extractor.
+func (c *Client) Extractor() *client.Client { return c.ext }
+
+// Stats returns a copy of the resilience counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Run drives the connect/serve/backoff loop until ctx ends (returning
+// ctx.Err()) or MaxAttempts consecutive dials fail (returning the last
+// dial error).
+func (c *Client) Run(ctx context.Context) error {
+	seed := c.cfg.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sess, err := c.cfg.Dial(c.cfg.Addr, c.cfg.ClientID)
+		if err != nil {
+			c.mu.Lock()
+			c.stats.DialFailures++
+			c.mu.Unlock()
+			failures++
+			if c.cfg.MaxAttempts > 0 && failures >= c.cfg.MaxAttempts {
+				return fmt.Errorf("netclient: giving up after %d dial failures: %w", failures, err)
+			}
+			delay := c.backoff(failures, rng)
+			c.logf("netclient: dial %s: %v (retrying in %s)", c.cfg.Addr, err, delay)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+			continue
+		}
+		failures = 0
+		err = c.runSession(ctx, sess)
+		sess.Close()
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// The session ended abnormally; back off one step and reconnect.
+		failures = 1
+		delay := c.backoff(failures, rng)
+		c.logf("netclient: session ended: %v (reconnecting in %s)", err, delay)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
+// backoff returns the delay before attempt n (1-based): exponential from
+// MinBackoff, capped at MaxBackoff, with equal jitter (half fixed, half
+// random) so synchronized clients fan out.
+func (c *Client) backoff(n int, rng *rand.Rand) time.Duration {
+	d := c.cfg.MinBackoff
+	for i := 1; i < n && d < c.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+// runSession registers the subscriptions and consumes events until the
+// session fails.
+func (c *Client) runSession(ctx context.Context, sess Session) error {
+	for _, q := range c.cfg.Queries {
+		if err := sess.Subscribe(q); err != nil {
+			return err
+		}
+	}
+	if err := sess.Ready(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats.Connects++
+	resumed := c.stats.Connects > 1
+	if resumed {
+		c.stats.ResumeRefreshes++
+	}
+	c.mu.Unlock()
+	if resumed {
+		// Anything published while we were gone is lost; ask for full
+		// answers on the next cycle rather than resuming mid-delta.
+		if err := sess.Refresh(); err != nil {
+			return err
+		}
+		c.logf("netclient: reconnected (session %d), requested full refresh", c.cfg.ClientID)
+	}
+
+	// Unblock Next when the context ends mid-read.
+	watch := make(chan struct{})
+	defer close(watch)
+	go func() {
+		select {
+		case <-ctx.Done():
+			sess.Close()
+		case <-watch:
+		}
+	}()
+
+	for {
+		ev, err := sess.Next()
+		if err != nil {
+			return err
+		}
+		switch {
+		case ev.Assigned != nil:
+			c.mu.Lock()
+			c.stats.Channel = ev.Assigned.Channel
+			c.mu.Unlock()
+		case ev.Answer != nil:
+			if c.noteSeq(ev.Answer.Channel, ev.Answer.Seq) {
+				c.logf("netclient: sequence gap on channel %d, requesting full refresh", ev.Answer.Channel)
+				if err := sess.Refresh(); err != nil {
+					return err
+				}
+			}
+			c.ext.Handle(*ev.Answer)
+		case ev.Err != nil:
+			return fmt.Errorf("netclient: server error: %s", ev.Err.Msg)
+		}
+		if c.cfg.OnEvent != nil {
+			c.cfg.OnEvent(ev)
+		}
+	}
+}
+
+// noteSeq advances the per-channel sequence high-water mark and reports
+// whether a gap (missed message) was detected.
+func (c *Client) noteSeq(channel int, seq uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	last := c.lastSeq[channel]
+	if seq > last {
+		c.lastSeq[channel] = seq
+	}
+	gap := last != 0 && seq > last+1
+	if gap {
+		c.stats.GapRefreshes++
+	}
+	return gap
+}

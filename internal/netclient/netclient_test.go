@@ -1,0 +1,295 @@
+package netclient
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"qsub/internal/cost"
+	"qsub/internal/daemon"
+	"qsub/internal/geom"
+	"qsub/internal/multicast"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+	"qsub/internal/server"
+	"qsub/internal/wire"
+)
+
+// fakeSession scripts server-pushed events and records the calls the
+// runtime makes against it.
+type fakeSession struct {
+	mu         sync.Mutex
+	subscribed []query.ID
+	refreshes  int
+	events     []daemon.Event
+	closed     chan struct{}
+	closeOnce  sync.Once
+}
+
+func (f *fakeSession) Subscribe(q query.Query) error {
+	f.mu.Lock()
+	f.subscribed = append(f.subscribed, q.ID)
+	f.mu.Unlock()
+	return nil
+}
+func (f *fakeSession) Ready() error { return nil }
+func (f *fakeSession) Refresh() error {
+	f.mu.Lock()
+	f.refreshes++
+	f.mu.Unlock()
+	return nil
+}
+func (f *fakeSession) Next() (daemon.Event, error) {
+	f.mu.Lock()
+	if len(f.events) == 0 {
+		f.mu.Unlock()
+		<-f.closed
+		return daemon.Event{}, errors.New("fake session closed")
+	}
+	ev := f.events[0]
+	f.events = f.events[1:]
+	f.mu.Unlock()
+	return ev, nil
+}
+func (f *fakeSession) Close() error {
+	f.closeOnce.Do(func() { close(f.closed) })
+	return nil
+}
+
+func answerEvent(channel int, seq uint64) daemon.Event {
+	return daemon.Event{Answer: &multicast.Message{Channel: channel, Seq: seq}}
+}
+
+// TestGapTriggersRefresh: a sequence gap in the answer stream makes the
+// client request a full refresh.
+func TestGapTriggersRefresh(t *testing.T) {
+	sess := &fakeSession{
+		closed: make(chan struct{}),
+		events: []daemon.Event{
+			{Assigned: &wire.Assigned{Channel: 0}},
+			answerEvent(0, 1),
+			answerEvent(0, 2),
+			answerEvent(0, 5), // seqs 3 and 4 lost
+		},
+	}
+	seen := make(chan daemon.Event, 16)
+	c, err := New(Config{
+		ClientID:    1,
+		Queries:     []query.Query{query.Range(1, geom.R(0, 0, 10, 10))},
+		MaxAttempts: 1,
+		Dial: func(string, int) (Session, error) {
+			return sess, nil
+		},
+		OnEvent: func(ev daemon.Event) { seen <- ev },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() { runDone <- c.Run(ctx) }()
+
+	for i := 0; i < 4; i++ {
+		select {
+		case <-seen:
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for scripted events")
+		}
+	}
+	cancel()
+	<-runDone
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.refreshes != 1 {
+		t.Fatalf("refreshes = %d, want 1 (gap between seq 2 and 5)", sess.refreshes)
+	}
+	if len(sess.subscribed) != 1 || sess.subscribed[0] != 1 {
+		t.Fatalf("subscribed = %v, want [1]", sess.subscribed)
+	}
+	st := c.Stats()
+	if st.GapRefreshes != 1 || st.Channel != 0 || st.Connects != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestBackoffGrowsAndCaps: the reconnect delay doubles per consecutive
+// failure, stays jittered within [d/2, d], and caps at MaxBackoff.
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	c, err := New(Config{
+		ClientID:   1,
+		Queries:    []query.Query{query.Range(1, geom.R(0, 0, 10, 10))},
+		MinBackoff: 100 * time.Millisecond,
+		MaxBackoff: 800 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	wantFull := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 800 * time.Millisecond, // capped
+	}
+	for i, full := range wantFull {
+		got := c.backoff(i+1, rng)
+		if got < full/2 || got > full {
+			t.Fatalf("backoff(%d) = %s, want within [%s, %s]", i+1, got, full/2, full)
+		}
+	}
+}
+
+// TestDialGivesUpAfterMaxAttempts: a hard-down daemon exhausts the
+// attempt budget instead of retrying forever.
+func TestDialGivesUpAfterMaxAttempts(t *testing.T) {
+	dials := 0
+	c, err := New(Config{
+		ClientID:    1,
+		Queries:     []query.Query{query.Range(1, geom.R(0, 0, 10, 10))},
+		MinBackoff:  time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		MaxAttempts: 3,
+		Dial: func(string, int) (Session, error) {
+			dials++
+			return nil, errors.New("connection refused")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(context.Background()); err == nil {
+		t.Fatal("Run should surface the dial failure")
+	}
+	if dials != 3 {
+		t.Fatalf("dials = %d, want 3", dials)
+	}
+	if st := c.Stats(); st.DialFailures != 3 {
+		t.Fatalf("DialFailures = %d, want 3", st.DialFailures)
+	}
+}
+
+// startDaemonOn serves a fresh daemon on the given listener.
+func startDaemonOn(t *testing.T, ln net.Listener) (*daemon.Daemon, context.CancelFunc) {
+	t.Helper()
+	rel := relation.MustNew(geom.R(0, 0, 1000, 1000), 10, 10)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		rel.Insert(geom.Pt(rng.Float64()*1000, rng.Float64()*1000), []byte("obj"))
+	}
+	d, err := daemon.New(rel, 1, server.Config{Model: cost.Model{KM: 500, KT: 1, KU: 1, K6: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go d.Serve(ctx, ln)
+	return d, cancel
+}
+
+// waitForQueries polls until the daemon registry holds n queries.
+func waitForQueries(t *testing.T, d *daemon.Daemon, n int) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		if cy, err := d.Server().Plan(); err == nil && len(cy.Queries) == n {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("daemon never reached %d queries", n)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestReconnectResubscribesAndRefreshes is the end-to-end resilience
+// path: the daemon dies mid-run and is replaced on the same address; the
+// client reconnects on its own, re-registers its query, requests a full
+// refresh, and extracts the complete answer from the new daemon.
+func TestReconnectResubscribesAndRefreshes(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	d1, cancel1 := startDaemonOn(t, ln)
+
+	q := query.Range(1, geom.R(0, 0, 1000, 1000))
+	c, err := New(Config{
+		Addr:       addr,
+		ClientID:   2,
+		Queries:    []query.Query{q},
+		MinBackoff: 10 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+		JitterSeed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() { runDone <- c.Run(ctx) }()
+
+	waitForQueries(t, d1, 1)
+	if _, err := d1.RunCycle(true); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for len(c.Extractor().Answer(1)) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("client never extracted the first answer")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	firstAnswer := len(c.Extractor().Answer(1))
+
+	// The daemon dies; a successor takes over the same address.
+	cancel1()
+	d1.Close()
+	ln.Close()
+	var ln2 net.Listener
+	for i := 0; ; i++ {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("could not rebind %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	d2, cancel2 := startDaemonOn(t, ln2)
+	defer func() {
+		cancel2()
+		d2.Close()
+		ln2.Close()
+	}()
+
+	// The client must re-register with the successor by itself and ask
+	// for a refresh, so the next delta cycle ships full answers.
+	waitForQueries(t, d2, 1)
+	if _, err := d2.RunCycle(true); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.After(5 * time.Second)
+	for len(c.Extractor().Answer(1)) < firstAnswer {
+		select {
+		case <-deadline:
+			t.Fatalf("client recovered only %d/%d tuples after reconnect",
+				len(c.Extractor().Answer(1)), firstAnswer)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	st := c.Stats()
+	if st.Connects < 2 {
+		t.Fatalf("Connects = %d, want >= 2", st.Connects)
+	}
+	if st.ResumeRefreshes < 1 {
+		t.Fatalf("ResumeRefreshes = %d, want >= 1", st.ResumeRefreshes)
+	}
+}

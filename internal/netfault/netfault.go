@@ -1,0 +1,115 @@
+// Package netfault wraps net.Conn with controllable failure modes —
+// stalled reads, silently dropped writes, and hard mid-stream cuts — so
+// delivery-robustness tests can reproduce the half-open connections,
+// slow consumers and truncated frames that real networks produce.
+package netfault
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Conn wraps a net.Conn with switchable fault injection. The zero state
+// of every fault is "off": until a fault is enabled the wrapper is a
+// transparent pass-through. All switches are safe for concurrent use
+// with in-flight reads and writes.
+type Conn struct {
+	net.Conn
+
+	mu         sync.Mutex
+	stallCh    chan struct{} // non-nil while reads must stall
+	dropWrites bool
+
+	// cutAfter counts down the bytes still allowed through before the
+	// connection is severed; negative means no cut armed.
+	cutAfter atomic.Int64
+	closed   atomic.Bool
+}
+
+// Wrap returns c behind a fault-injection wrapper with every fault off.
+func Wrap(c net.Conn) *Conn {
+	fc := &Conn{Conn: c}
+	fc.cutAfter.Store(-1)
+	return fc
+}
+
+// StallReads makes Read block — simulating a consumer that stops
+// draining its socket — until ResumeReads or Close. Data already in
+// flight inside the kernel is unaffected; only this process stops
+// observing it.
+func (c *Conn) StallReads() {
+	c.mu.Lock()
+	if c.stallCh == nil {
+		c.stallCh = make(chan struct{})
+	}
+	c.mu.Unlock()
+}
+
+// ResumeReads releases a stall installed by StallReads.
+func (c *Conn) ResumeReads() {
+	c.mu.Lock()
+	if c.stallCh != nil {
+		close(c.stallCh)
+		c.stallCh = nil
+	}
+	c.mu.Unlock()
+}
+
+// DropWrites makes Write report success while discarding the data — the
+// black-hole behavior of a peer behind a dead NAT mapping.
+func (c *Conn) DropWrites(drop bool) {
+	c.mu.Lock()
+	c.dropWrites = drop
+	c.mu.Unlock()
+}
+
+// CutAfter arms a hard cut: after n more bytes pass through Write the
+// underlying connection closes, truncating whatever frame was mid-flight.
+func (c *Conn) CutAfter(n int) {
+	c.cutAfter.Store(int64(n))
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	stall := c.stallCh
+	c.mu.Unlock()
+	if stall != nil {
+		<-stall
+		if c.closed.Load() {
+			return 0, net.ErrClosed
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	drop := c.dropWrites
+	c.mu.Unlock()
+	if drop {
+		return len(p), nil
+	}
+	if budget := c.cutAfter.Load(); budget >= 0 {
+		if int64(len(p)) >= budget {
+			// Sever mid-frame: let the allowed prefix through, then close.
+			n, _ := c.Conn.Write(p[:budget])
+			c.Close()
+			return n, net.ErrClosed
+		}
+		c.cutAfter.Store(budget - int64(len(p)))
+	}
+	return c.Conn.Write(p)
+}
+
+// Close closes the underlying connection and releases any stalled reader.
+func (c *Conn) Close() error {
+	c.closed.Store(true)
+	c.mu.Lock()
+	if c.stallCh != nil {
+		close(c.stallCh)
+		c.stallCh = nil
+	}
+	c.mu.Unlock()
+	return c.Conn.Close()
+}

@@ -1,0 +1,85 @@
+package netfault
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func pipePair(t *testing.T) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return Wrap(a), b
+}
+
+func TestPassThrough(t *testing.T) {
+	fc, peer := pipePair(t)
+	go peer.Write([]byte("hello"))
+	buf := make([]byte, 5)
+	if n, err := fc.Read(buf); err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("Read = %q, %v", buf[:n], err)
+	}
+}
+
+func TestStallAndResume(t *testing.T) {
+	fc, peer := pipePair(t)
+	fc.StallReads()
+	got := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 5)
+		n, _ := fc.Read(buf)
+		got <- string(buf[:n])
+	}()
+	go peer.Write([]byte("later"))
+	select {
+	case s := <-got:
+		t.Fatalf("stalled read returned %q", s)
+	case <-time.After(50 * time.Millisecond):
+	}
+	fc.ResumeReads()
+	select {
+	case s := <-got:
+		if s != "later" {
+			t.Fatalf("resumed read = %q", s)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("read never resumed")
+	}
+}
+
+func TestDropWrites(t *testing.T) {
+	fc, peer := pipePair(t)
+	fc.DropWrites(true)
+	// No reader on the peer: a real write through net.Pipe would block
+	// forever, so an immediate success proves the data was discarded.
+	if n, err := fc.Write([]byte("void")); err != nil || n != 4 {
+		t.Fatalf("dropped Write = %d, %v", n, err)
+	}
+	_ = peer
+}
+
+func TestCutAfter(t *testing.T) {
+	fc, peer := pipePair(t)
+	fc.CutAfter(3)
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 8)
+		n, _ := peer.Read(buf)
+		got <- buf[:n]
+	}()
+	if _, err := fc.Write([]byte("abcdefgh")); err == nil {
+		t.Fatal("write past the cut should error")
+	}
+	select {
+	case b := <-got:
+		if string(b) != "abc" {
+			t.Fatalf("peer saw %q, want the 3-byte prefix", b)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("peer never saw the truncated prefix")
+	}
+	if _, err := fc.Write([]byte("more")); err == nil {
+		t.Fatal("connection should be closed after the cut")
+	}
+}

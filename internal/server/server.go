@@ -101,7 +101,7 @@ func New(rel *relation.Relation, net *multicast.Network, cfg Config) (*Server, e
 	}
 	if cat := cfg.Metrics; cat != nil {
 		rel.SetDeltaMetrics(cat.DeltaBatchTuples, cat.DeltaDeletions)
-		net.SetMetrics(cat.FanoutDeliveries, cat.FanoutDropped)
+		net.SetMetrics(cat.FanoutDeliveries, cat.FanoutDropped, cat.FanoutEvictions)
 	}
 	return &Server{
 		rel:  rel,

@@ -48,6 +48,11 @@ const (
 	TypeError
 	// TypeBye ends the session (either direction).
 	TypeBye
+	// TypeRefresh asks the server to publish full answers on the next
+	// cycle instead of a delta (client → server). Clients send it after
+	// detecting a sequence gap (or after reconnecting mid-stream) so
+	// their accumulated answers are rebuilt rather than left holed.
+	TypeRefresh
 )
 
 // MaxFrameSize bounds a frame payload; larger frames are rejected to

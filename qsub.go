@@ -48,6 +48,7 @@ import (
 	"qsub/internal/interval"
 	"qsub/internal/kdim"
 	"qsub/internal/multicast"
+	"qsub/internal/netclient"
 	"qsub/internal/query"
 	"qsub/internal/relation"
 	"qsub/internal/server"
@@ -196,6 +197,19 @@ type (
 	Subscription = multicast.Subscription
 	// NetworkOption configures a network.
 	NetworkOption = multicast.Option
+	// SlowPolicy decides what a publish does when a subscriber's
+	// delivery buffer is full.
+	SlowPolicy = multicast.Policy
+)
+
+// Slow-consumer policies.
+const (
+	// SlowBlock applies backpressure (the simulator default).
+	SlowBlock = multicast.Block
+	// SlowEvict cancels the slow subscriber so the cycle never stalls.
+	SlowEvict = multicast.Evict
+	// SlowDrop skips the delivery, surfacing as a sequence gap.
+	SlowDrop = multicast.DropNewest
 )
 
 // NewNetwork creates a multicast network with the given channel count.
@@ -205,6 +219,9 @@ func NewNetwork(channels int, opts ...NetworkOption) (*Network, error) {
 
 // WithLoss injects random delivery loss for failure testing.
 func WithLoss(rate float64, seed int64) NetworkOption { return multicast.WithLoss(rate, seed) }
+
+// WithSlowPolicy sets the network-wide default slow-consumer policy.
+func WithSlowPolicy(p SlowPolicy) NetworkOption { return multicast.WithPolicy(p) }
 
 // Server and client runtimes.
 type (
@@ -402,6 +419,23 @@ func NewDaemon(rel *Relation, channels int, cfg ServerConfig) (*Daemon, error) {
 // DialDaemon connects to a running daemon as the given client.
 func DialDaemon(addr string, clientID int) (*DaemonConn, error) {
 	return daemon.Dial(addr, clientID)
+}
+
+// Resilient client runtime: reconnect with backoff, automatic
+// resubscription and gap recovery.
+type (
+	// ResilientClient drives daemon sessions across failures.
+	ResilientClient = netclient.Client
+	// ResilientConfig parameterizes a resilient client.
+	ResilientConfig = netclient.Config
+	// ResilientStats counts reconnects, dial failures and refreshes.
+	ResilientStats = netclient.Stats
+)
+
+// NewResilientClient builds a resilient daemon client; call Run to start
+// the connect/serve/backoff loop.
+func NewResilientClient(cfg ResilientConfig) (*ResilientClient, error) {
+	return netclient.New(cfg)
 }
 
 // Predicate is an attribute selection applied client-side as part of the
