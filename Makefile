@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-delivery bench bench-save bench-compare check cover experiments fuzz clean
+.PHONY: all build test vet race race-delivery bench bench-save bench-compare check cover experiments fuzz clean
 
 # Coverage floor for the observability layer: the metrics registry is
 # the contract every hot path leans on, so its package stays near-fully
@@ -12,11 +12,20 @@ METRICS_COVER_FLOOR := 85.0
 all: build test
 
 # The full pre-merge gate: build, vet and the race-enabled test suite
-# (the parallel solvers make -race load-bearing, not optional).
+# (the parallel solvers make -race load-bearing, not optional), plus a
+# smoke run of the sharded planning pipeline through the simulator.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) run ./cmd/qsubsim -exp sharding -shards 16 -aggregate
+
+# Focused vet + race leg for the sharded planning pipeline: fast enough
+# for a pre-push hook, strict enough to catch data races in the
+# per-shard worker pool.
+vet:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/shard
 
 build:
 	$(GO) build ./...
@@ -71,6 +80,10 @@ bench-save:
 		-bench 'BenchmarkMarshalMessage' \
 		-benchmem -benchtime 500x ./internal/wire; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_publish.json
+	$(GO) test -run - \
+		-bench 'BenchmarkShardPlan|BenchmarkAggregate' \
+		-benchmem -benchtime 1x ./internal/shard \
+		| $(GO) run ./cmd/benchjson -o BENCH_sharding.json
 
 # Diffs a fresh bench-save against the committed baselines, failing on
 # >20% time/op or allocs/op regressions.
@@ -78,10 +91,12 @@ bench-compare:
 	cp BENCH_solvers.json /tmp/BENCH_solvers.baseline.json
 	cp BENCH_chanalloc.json /tmp/BENCH_chanalloc.baseline.json
 	cp BENCH_publish.json /tmp/BENCH_publish.baseline.json
+	cp BENCH_sharding.json /tmp/BENCH_sharding.baseline.json
 	$(MAKE) bench-save
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_solvers.baseline.json BENCH_solvers.json
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_chanalloc.baseline.json BENCH_chanalloc.json
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_publish.baseline.json BENCH_publish.json
+	$(GO) run ./cmd/benchjson compare /tmp/BENCH_sharding.baseline.json BENCH_sharding.json
 
 # Regenerates every table and figure (see EXPERIMENTS.md).
 experiments:

@@ -8,10 +8,12 @@
 //	go test -bench 'PairMerge' -benchmem | benchjson -o BENCH_solvers.json
 //	benchjson compare OLD.json NEW.json [-threshold 0.20]
 //
-// Three suites are committed: BENCH_solvers.json (solver engine),
-// BENCH_chanalloc.json (channel allocation) and BENCH_publish.json (the
+// Four suites are committed: BENCH_solvers.json (solver engine),
+// BENCH_chanalloc.json (channel allocation), BENCH_publish.json (the
 // dissemination engine — publish, client extraction and wire encoding,
-// concatenated from the server, client and wire packages).
+// concatenated from the server, client and wire packages) and
+// BENCH_sharding.json (the sharded planning pipeline, including the
+// 100k-subscription acceptance rows).
 //
 // Standard benchmark lines parse into name, iterations, ns/op and — when
 // -benchmem is on — B/op and allocs/op; any custom b.ReportMetric units

@@ -27,27 +27,30 @@ import (
 	"qsub/internal/multicast"
 	"qsub/internal/relation"
 	"qsub/internal/server"
+	"qsub/internal/shard"
 	"qsub/internal/trace"
 	"qsub/internal/workload"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:7070", "listen address")
-		channels = flag.Int("channels", 3, "multicast channels")
-		tuples   = flag.Int("tuples", 20000, "objects to load")
-		period   = flag.Duration("period", 2*time.Second, "cycle period")
-		delta    = flag.Bool("delta", false, "ship per-period deltas instead of full answers")
-		seed     = flag.Int64("seed", 1, "data seed")
-		km       = flag.Float64("km", 64000, "cost model K_M")
-		kt       = flag.Float64("kt", 1, "cost model K_T")
-		ku       = flag.Float64("ku", 0.5, "cost model K_U")
-		k6       = flag.Float64("k6", 24000, "cost model K6 (per-listener filtering)")
-		snapshot = flag.String("snapshot", "", "load the database from this snapshot file if it exists; save to it on SIGINT/SIGTERM")
-		traceOut = flag.String("trace", "", "record control-plane events as JSON lines to this file")
-		subsFile = flag.String("subs", "", "restore subscriptions from this file at start; save to it on SIGINT/SIGTERM")
-		feed     = flag.Int("feed", 0, "insert this many new objects per cycle (continuous-feed mode)")
-		admin    = flag.String("admin", "", "serve the admin endpoint (/metrics, /healthz, /statusz, /debug/pprof) on this address")
+		listen    = flag.String("listen", "127.0.0.1:7070", "listen address")
+		channels  = flag.Int("channels", 3, "multicast channels")
+		tuples    = flag.Int("tuples", 20000, "objects to load")
+		period    = flag.Duration("period", 2*time.Second, "cycle period")
+		delta     = flag.Bool("delta", false, "ship per-period deltas instead of full answers")
+		seed      = flag.Int64("seed", 1, "data seed")
+		km        = flag.Float64("km", 64000, "cost model K_M")
+		kt        = flag.Float64("kt", 1, "cost model K_T")
+		ku        = flag.Float64("ku", 0.5, "cost model K_U")
+		k6        = flag.Float64("k6", 24000, "cost model K6 (per-listener filtering)")
+		snapshot  = flag.String("snapshot", "", "load the database from this snapshot file if it exists; save to it on SIGINT/SIGTERM")
+		traceOut  = flag.String("trace", "", "record control-plane events as JSON lines to this file")
+		subsFile  = flag.String("subs", "", "restore subscriptions from this file at start; save to it on SIGINT/SIGTERM")
+		feed      = flag.Int("feed", 0, "insert this many new objects per cycle (continuous-feed mode)")
+		admin     = flag.String("admin", "", "serve the admin endpoint (/metrics, /healthz, /statusz, /debug/pprof) on this address")
+		shardBits = flag.Int("shards", 0, "plan with the sharded pipeline using this many Morton prefix bits (2^bits shards; 0 with -aggregate=false disables sharding)")
+		aggregate = flag.Bool("aggregate", false, "collapse covered/near-duplicate subscriptions before solving (sharded pipeline)")
 
 		readIdle   = flag.Duration("read-idle", 5*time.Minute, "drop a session that sends no frame for this long (0 disables)")
 		writeTO    = flag.Duration("write-timeout", daemon.DefaultWriteTimeout, "per-frame write deadline for session connections (0 disables)")
@@ -88,6 +91,11 @@ func main() {
 	d, err := daemon.New(rel, *channels, server.Config{
 		Model:    cost.Model{KM: *km, KT: *kt, KU: *ku, K6: *k6},
 		Strategy: chanalloc.BestOfBoth,
+		Sharding: shard.Config{
+			Enabled:   *shardBits > 0 || *aggregate,
+			ShardBits: *shardBits,
+			Aggregate: *aggregate,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -43,7 +43,7 @@ func writeCSV(name string, write func(f *os.File) error) {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: fig16, fig17, fig18, fig19, appendix1, estimators, algos, scaling, replan, interval, split, all")
+		exp      = flag.String("exp", "all", "experiment to run: fig16, fig17, fig18, fig19, appendix1, estimators, algos, scaling, sharding, replan, interval, split, all")
 		trials   = flag.Int("trials", 0, "trials per configuration (0 = experiment default)")
 		minQ     = flag.Int("minq", 3, "minimum query count for the merging sweep")
 		maxQ     = flag.Int("maxq", 12, "maximum query count for the merging sweep")
@@ -53,6 +53,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base workload seed")
 		parallel = flag.Int("parallel", 0, "worker-pool size for the parallel solvers (0 = GOMAXPROCS, 1 = sequential)")
 		dumpMet  = flag.Bool("metrics", false, "dump solver instrumentation (Prometheus text format) after the run")
+		shards   = flag.Int("shards", 0, "shard count for the sharding experiment (0 = sweep 1, 4, 16; rounded up to a power of two)")
+		aggr     = flag.Bool("aggregate", true, "enable subscription aggregation in the sharding experiment")
 	)
 	flag.StringVar(&csvDir, "csv", "", "also write raw series as CSV files into this directory")
 	flag.Parse()
@@ -80,6 +82,8 @@ func main() {
 		runAlgos(*trials, *seed, *parallel)
 	case "scaling":
 		runScaling()
+	case "sharding":
+		runSharding(*shards, *aggr, *parallel)
 	case "replan":
 		runReplan()
 	case "interval":
@@ -98,6 +102,8 @@ func main() {
 		runAlgos(*trials, *seed, *parallel)
 		fmt.Println()
 		runScaling()
+		fmt.Println()
+		runSharding(*shards, *aggr, *parallel)
 		fmt.Println()
 		runReplan()
 		fmt.Println()
@@ -203,6 +209,35 @@ func runScaling() {
 		fatal(err)
 	}
 	fmt.Print(experiment.FormatScalingTable(rows))
+}
+
+func runSharding(shards int, aggregate bool, parallel int) {
+	cfg := experiment.DefaultShardingConfig()
+	cfg.Aggregate = aggregate
+	cfg.Parallelism = parallel
+	if shards > 0 {
+		bits := 0
+		for 1<<bits < shards {
+			bits++
+		}
+		cfg.ShardBits = []int{bits}
+	}
+	fmt.Printf("Sharded planning scaling: aggregate %v, shards %v, %d%% near-duplicate workload\n",
+		cfg.Aggregate, shardCounts(cfg.ShardBits), int(cfg.DupF*100))
+	rows, err := experiment.RunSharding(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(experiment.FormatShardingTable(rows))
+	writeCSV("sharding", func(f *os.File) error { return experiment.WriteShardingCSV(f, rows) })
+}
+
+func shardCounts(bits []int) []int {
+	out := make([]int, len(bits))
+	for i, b := range bits {
+		out[i] = 1 << b
+	}
+	return out
 }
 
 func runReplan() {

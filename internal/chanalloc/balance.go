@@ -1,0 +1,39 @@
+package chanalloc
+
+import "sort"
+
+// BalanceWeights assigns each weighted item to one of `channels` bins,
+// greedily placing heavier items first onto the currently lightest bin
+// (the classic LPT rule, a 4/3-approximation of makespan). The sharded
+// planning pipeline uses it to spread spatial shards across multicast
+// channels by traffic weight: unlike the hill-climbing allocators in
+// this package it never re-runs the merging algorithm, so it scales to
+// arbitrarily many items.
+//
+// The assignment is deterministic: weight ties break on lower item
+// index, load ties on lower channel index. channels < 1 is treated as 1.
+func BalanceWeights(weights []float64, channels int) []int {
+	if channels < 1 {
+		channels = 1
+	}
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return weights[order[a]] > weights[order[b]]
+	})
+	load := make([]float64, channels)
+	out := make([]int, len(weights))
+	for _, item := range order {
+		best := 0
+		for ch := 1; ch < channels; ch++ {
+			if load[ch] < load[best] {
+				best = ch
+			}
+		}
+		out[item] = best
+		load[best] += weights[item]
+	}
+	return out
+}

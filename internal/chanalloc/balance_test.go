@@ -1,0 +1,104 @@
+package chanalloc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBalanceWeightsSpread(t *testing.T) {
+	// Four equal weights over two channels must split two and two.
+	got := BalanceWeights([]float64{1, 1, 1, 1}, 2)
+	count := map[int]int{}
+	for _, ch := range got {
+		count[ch]++
+	}
+	if count[0] != 2 || count[1] != 2 {
+		t.Fatalf("equal weights split %v, want 2/2", got)
+	}
+}
+
+func TestBalanceWeightsLPT(t *testing.T) {
+	// Classic LPT instance: {5, 4, 3, 3, 3} on 2 channels.
+	a := BalanceWeights([]float64{5, 4, 3, 3, 3}, 2)
+	load := map[int]float64{}
+	ws := []float64{5, 4, 3, 3, 3}
+	for i, ch := range a {
+		load[ch] += ws[i]
+	}
+	// LPT guarantees makespan <= 4/3 * OPT; OPT here is 9.
+	if load[0] > 12 || load[1] > 12 {
+		t.Fatalf("LPT makespan too large: %v", load)
+	}
+	if load[0] == 0 || load[1] == 0 {
+		t.Fatalf("one channel left empty: %v", load)
+	}
+}
+
+func TestBalanceWeightsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ws := make([]float64, 500)
+	for i := range ws {
+		ws[i] = rng.Float64() * 100
+	}
+	a := BalanceWeights(ws, 7)
+	b := BalanceWeights(ws, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("assignment differs at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBalanceWeightsEdgeCases(t *testing.T) {
+	if got := BalanceWeights(nil, 3); len(got) != 0 {
+		t.Fatalf("empty weights gave %v", got)
+	}
+	got := BalanceWeights([]float64{2, 1}, 0)
+	for i, ch := range got {
+		if ch != 0 {
+			t.Fatalf("item %d on channel %d with channels<1", i, ch)
+		}
+	}
+	// More channels than items: every item alone.
+	got = BalanceWeights([]float64{3, 2, 1}, 8)
+	seen := map[int]bool{}
+	for _, ch := range got {
+		if seen[ch] {
+			t.Fatalf("two items share a channel despite surplus: %v", got)
+		}
+		seen[ch] = true
+	}
+}
+
+func TestBalanceWeightsQuality(t *testing.T) {
+	// Random instances: max load must stay within 4/3 of the mean-based
+	// lower bound plus one item (the LPT guarantee shape).
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(80)
+		channels := 2 + rng.Intn(6)
+		ws := make([]float64, n)
+		total, maxW := 0.0, 0.0
+		for i := range ws {
+			ws[i] = rng.Float64()*50 + 1
+			total += ws[i]
+			if ws[i] > maxW {
+				maxW = ws[i]
+			}
+		}
+		a := BalanceWeights(ws, channels)
+		load := make([]float64, channels)
+		for i, ch := range a {
+			load[ch] += ws[i]
+		}
+		lower := total / float64(channels)
+		if lower < maxW {
+			lower = maxW
+		}
+		for ch, l := range load {
+			if l > lower*4.0/3.0+1e-9 {
+				t.Fatalf("trial %d: channel %d load %.2f exceeds LPT bound %.2f", trial, ch, l, lower*4.0/3.0)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 
@@ -557,4 +558,96 @@ func TestExplain(t *testing.T) {
 
 func containsStr(s, sub string) bool {
 	return len(s) >= len(sub) && strings.Contains(s, sub)
+}
+
+// TestIncrementalChurnQualityVsRemerge pins the §11 maintenance quality
+// bound under mixed arrivals and departures: after every churn batch the
+// incremental plan must (a) remain a valid partition of the active
+// queries, (b) never cost more than answering them separately, and
+// (c) retain at least half of the savings a full PairMerge re-merge over
+// the active set achieves.
+func TestIncrementalChurnQualityVsRemerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const total, live = 60, 40
+	rects := make([]geom.Rect, total)
+	for i := range rects {
+		// Three clusters so merging has real savings to preserve.
+		cx, cy := float64(i%3)*60, float64(i%3)*60
+		rects[i] = geom.RectWH(cx+rng.Float64()*30, cy+rng.Float64()*30,
+			rng.Float64()*12+2, rng.Float64()*12+2)
+	}
+	inst := geomInstance(paperModel, rects)
+
+	active := map[int]bool{}
+	inc := NewIncremental(inst, Plan{})
+	for q := 0; q < live; q++ {
+		inc.Add(q)
+		active[q] = true
+	}
+	next := live
+
+	checkAgainstRemerge := func(batch int) {
+		plan := inc.Plan()
+		seen := map[int]bool{}
+		for _, set := range plan {
+			for _, q := range set {
+				if !active[q] {
+					t.Fatalf("batch %d: plan contains inactive query %d", batch, q)
+				}
+				if seen[q] {
+					t.Fatalf("batch %d: query %d appears twice", batch, q)
+				}
+				seen[q] = true
+			}
+		}
+		if len(seen) != len(active) {
+			t.Fatalf("batch %d: plan covers %d of %d active queries", batch, len(seen), len(active))
+		}
+
+		// Full re-merge over the active set: same geometry remapped to a
+		// fresh instance, so costs are directly comparable.
+		var ids []int
+		for q := range active {
+			ids = append(ids, q)
+		}
+		sort.Ints(ids)
+		sub := make([]geom.Rect, len(ids))
+		for i, q := range ids {
+			sub[i] = rects[q]
+		}
+		subInst := geomInstance(paperModel, sub)
+		full := subInst.Cost(PairMerge{}.Solve(subInst))
+		initial := subInst.InitialCost()
+		got := inc.Cost()
+		if got > initial+1e-9 {
+			t.Fatalf("batch %d: incremental cost %g exceeds no-merge cost %g", batch, got, initial)
+		}
+		if initial-full > 1e-9 && (initial-got) < 0.5*(initial-full) {
+			t.Fatalf("batch %d: incremental keeps %g of the %g full re-merge savings (bound: half)",
+				batch, initial-got, initial-full)
+		}
+	}
+
+	checkAgainstRemerge(0)
+	for batch := 1; batch <= 4 && next < total; batch++ {
+		// Remove 5 random active queries, then add 5 fresh ones.
+		var ids []int
+		for q := range active {
+			ids = append(ids, q)
+		}
+		sort.Ints(ids)
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		for _, q := range ids[:5] {
+			if !inc.Remove(q) {
+				t.Fatalf("batch %d: Remove(%d) found nothing", batch, q)
+			}
+			delete(active, q)
+		}
+		for k := 0; k < 5 && next < total; k++ {
+			inc.Add(next)
+			active[next] = true
+			next++
+		}
+		checkAgainstRemerge(batch)
+	}
 }

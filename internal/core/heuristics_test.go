@@ -7,6 +7,7 @@ import (
 
 	"qsub/internal/cost"
 	"qsub/internal/geom"
+	"qsub/internal/morton"
 	"qsub/internal/query"
 )
 
@@ -136,17 +137,17 @@ func absDiff(a, b uint64) uint64 {
 }
 
 func TestInterleaveBits(t *testing.T) {
-	if got := interleave(0); got != 0 {
-		t.Fatalf("interleave(0) = %d", got)
+	if got := morton.Interleave(0); got != 0 {
+		t.Fatalf("Interleave(0) = %d", got)
 	}
-	if got := interleave(1); got != 1 {
-		t.Fatalf("interleave(1) = %d", got)
+	if got := morton.Interleave(1); got != 1 {
+		t.Fatalf("Interleave(1) = %d", got)
 	}
-	if got := interleave(0b11); got != 0b101 {
-		t.Fatalf("interleave(0b11) = %b", got)
+	if got := morton.Interleave(0b11); got != 0b101 {
+		t.Fatalf("Interleave(0b11) = %b", got)
 	}
-	if got := interleave(0xFFFF); got != 0x5555555555555555&((1<<32)-1) {
-		t.Fatalf("interleave(0xFFFF) = %x", got)
+	if got := morton.Interleave(0xFFFF); got != 0x5555555555555555&((1<<32)-1) {
+		t.Fatalf("Interleave(0xFFFF) = %x", got)
 	}
 }
 

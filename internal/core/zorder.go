@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"qsub/internal/geom"
+	"qsub/internal/morton"
 	"qsub/internal/query"
 )
 
@@ -90,37 +91,13 @@ func (z ZOrderSweep) Solve(inst *Instance) Plan {
 	return plan.Normalize()
 }
 
-// mortonCode interleaves 16-bit normalized x and y coordinates.
+// mortonCode interleaves 16-bit normalized x and y coordinates via the
+// shared internal/morton machinery (also the shard key of the sharded
+// planning pipeline).
 func mortonCode(p geom.Point, bounds geom.Rect) uint64 {
-	nx := normalize(p.X, bounds.MinX, bounds.MaxX)
-	ny := normalize(p.Y, bounds.MinY, bounds.MaxY)
-	return interleave(nx) | interleave(ny)<<1
-}
-
-func normalize(v, lo, hi float64) uint32 {
-	if hi <= lo {
-		return 0
-	}
-	f := (v - lo) / (hi - lo)
-	if f < 0 {
-		f = 0
-	}
-	if f > 1 {
-		f = 1
-	}
-	return uint32(f * 65535)
-}
-
-// interleave spreads the low 16 bits of v so there is a zero bit between
-// each pair of consecutive bits.
-func interleave(v uint32) uint64 {
-	x := uint64(v) & 0xFFFF
-	x = (x | x<<16) & 0x0000FFFF0000FFFF
-	x = (x | x<<8) & 0x00FF00FF00FF00FF
-	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
-	x = (x | x<<2) & 0x3333333333333333
-	x = (x | x<<1) & 0x5555555555555555
-	return x
+	nx := morton.Normalize(p.X, bounds.MinX, bounds.MaxX)
+	ny := morton.Normalize(p.Y, bounds.MinY, bounds.MaxY)
+	return morton.Code2(nx, ny)
 }
 
 var _ Algorithm = ZOrderSweep{}

@@ -1,0 +1,102 @@
+package interval
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"qsub/internal/cost"
+	"qsub/internal/morton"
+)
+
+// TestMortonShardKey1D drives the 1-D specialization through the same
+// shard-key machinery the sharded planner uses: intervals shard by the
+// k=1 Morton prefix of their midpoints, each shard solves independently
+// (here with the exact contiguous DP through the generic substrate), and
+// the stitched result partitions the input. With k=1 the Z-order code
+// degenerates to plain coordinate order, so sharding preserves the
+// contiguity the DP's optimality proof needs — each shard is an interval
+// of the sorted order.
+func TestMortonShardKey1D(t *testing.T) {
+	model := cost.Model{KM: 30, KT: 2, KU: 1}
+	rng := rand.New(rand.NewSource(17))
+	ivs := make([]Interval, 80)
+	for i := range ivs {
+		lo := rng.Float64() * 900
+		ivs[i] = Interval{Lo: lo, Hi: lo + rng.Float64()*40 + 1}
+	}
+
+	const bits = 3
+	lo, hi := []float64{0}, []float64{1000}
+	byCell := map[int][]int{}
+	for i, iv := range ivs {
+		cell := morton.Prefix(morton.CodePoint([]float64{(iv.Lo + iv.Hi) / 2}, lo, hi), 1, bits)
+		byCell[cell] = append(byCell[cell], i)
+	}
+	if len(byCell) < 2 {
+		t.Fatal("all intervals landed in one cell")
+	}
+
+	cells := make([]int, 0, len(byCell))
+	for c := range byCell {
+		cells = append(cells, c)
+	}
+	sort.Ints(cells)
+
+	total := 0.0
+	covered := make([]int, len(ivs))
+	prevMax := -1.0
+	for _, c := range cells {
+		members := byCell[c]
+		sub := make([]Interval, len(members))
+		minMid, maxMid := 1e18, -1e18
+		for j, i := range members {
+			sub[j] = ivs[i]
+			mid := (ivs[i].Lo + ivs[i].Hi) / 2
+			if mid < minMid {
+				minMid = mid
+			}
+			if mid > maxMid {
+				maxMid = mid
+			}
+		}
+		// k=1 Morton cells are ordered ranges of the coordinate axis:
+		// every midpoint in this cell lies past every earlier cell's.
+		if minMid < prevMax {
+			t.Fatalf("cell %d overlaps an earlier cell on the axis (%g < %g)", c, minMid, prevMax)
+		}
+		prevMax = maxMid
+
+		p := MergeContiguous(model, sub, 1)
+		total += p.Cost
+		// Cross-check the DP's reported cost through the generic
+		// instance it claims to solve.
+		inst := Instance(model, sub, 1)
+		if got := inst.Cost(p.Plan); !almostEqual(got, p.Cost) {
+			t.Fatalf("cell %d: DP cost %g disagrees with instance cost %g", c, p.Cost, got)
+		}
+		for _, set := range p.Plan {
+			for _, local := range set {
+				covered[members[local]]++
+			}
+		}
+	}
+	for i, n := range covered {
+		if n != 1 {
+			t.Fatalf("interval %d appears in %d stitched sets", i, n)
+		}
+	}
+
+	global := Instance(model, ivs, 1)
+	if initial := global.InitialCost(); total > initial+1e-9 {
+		t.Fatalf("stitched cost %g exceeds no-merge cost %g", total, initial)
+	}
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6*(1+max(a, b))
+}

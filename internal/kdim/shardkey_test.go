@@ -1,0 +1,89 @@
+package kdim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"qsub/internal/core"
+	"qsub/internal/cost"
+	"qsub/internal/morton"
+)
+
+// TestMortonShardKeyKDim pins the sharded pipeline's key machinery to
+// the k-dimensional substrate: the Morton code generalizes beyond the
+// 2-D battlefield case, so k-dim boxes shard by Z-order cell and each
+// cell solves independently through the generic core.Algorithm
+// interface, exactly the shape internal/shard uses for 2-D queries.
+func TestMortonShardKeyKDim(t *testing.T) {
+	model := cost.Model{KM: 50, KT: 1, KU: 1}
+	for _, k := range []int{1, 3, 4} {
+		rng := rand.New(rand.NewSource(int64(10 + k)))
+		boxes := RandomBoxes(rng, 64, k, 100, 5, 15)
+		lo := make([]float64, k)
+		hi := make([]float64, k)
+		for d := 0; d < k; d++ {
+			hi[d] = 100
+		}
+
+		// Shard by the Z-order cell of each box center, 2 prefix bits
+		// regardless of k (the key must not assume 2-D).
+		const bits = 2
+		byCell := map[int][]int{}
+		center := make([]float64, k)
+		for i, b := range boxes {
+			for d := 0; d < k; d++ {
+				center[d] = (b.Min[d] + b.Max[d]) / 2
+			}
+			cell := morton.Prefix(morton.CodePoint(center, lo, hi), k, bits)
+			if cell < 0 || cell >= 1<<bits {
+				t.Fatalf("k=%d: cell %d outside [0, %d)", k, cell, 1<<bits)
+			}
+			byCell[cell] = append(byCell[cell], i)
+		}
+		if len(byCell) < 2 {
+			t.Fatalf("k=%d: all boxes landed in one cell; key is not partitioning", k)
+		}
+
+		// Solve each shard through the generic substrate and stitch.
+		cells := make([]int, 0, len(byCell))
+		for c := range byCell {
+			cells = append(cells, c)
+		}
+		sort.Ints(cells)
+		total := 0.0
+		covered := make([]int, len(boxes))
+		for _, c := range cells {
+			members := byCell[c]
+			sub := make([]Box, len(members))
+			for j, i := range members {
+				sub[j] = boxes[i]
+			}
+			inst, err := Instance(model, sub, 1)
+			if err != nil {
+				t.Fatalf("k=%d cell %d: %v", k, c, err)
+			}
+			plan := core.PairMerge{}.Solve(inst)
+			total += inst.Cost(plan)
+			for _, set := range plan {
+				for _, local := range set {
+					covered[members[local]]++
+				}
+			}
+		}
+		for i, n := range covered {
+			if n != 1 {
+				t.Fatalf("k=%d: box %d appears in %d stitched sets", k, i, n)
+			}
+		}
+
+		// Per-shard solving must never lose to the no-merge baseline.
+		global, err := Instance(model, boxes, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if initial := global.InitialCost(); total > initial+1e-9 {
+			t.Fatalf("k=%d: stitched cost %g exceeds no-merge cost %g", k, total, initial)
+		}
+	}
+}

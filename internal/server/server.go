@@ -25,6 +25,7 @@ import (
 	"qsub/internal/multicast"
 	"qsub/internal/query"
 	"qsub/internal/relation"
+	"qsub/internal/shard"
 )
 
 // Config selects the server's policies. Zero-value fields fall back to
@@ -56,6 +57,13 @@ type Config struct {
 	// Restarts is the multi-start restart count (0 = the chanalloc
 	// default of 8); only used with chanalloc.MultiStartInit.
 	Restarts int
+	// Sharding selects the sharded planning pipeline (internal/shard):
+	// subscription aggregation, Morton-sharded concurrent solving, and
+	// traffic-weighted channel balancing. Disabled by default; with
+	// Sharding.Enabled, ShardBits == 0 and Aggregate == false the
+	// pipeline is bit-identical to the unsharded single-channel plan
+	// (the equivalence ablation pins this).
+	Sharding shard.Config
 	// NoDeltaIndex disables the delta-indexed publish path: PublishDelta
 	// re-executes every merged query against the full relation and
 	// filters by watermark afterwards, making per-cycle cost scale with
@@ -285,6 +293,10 @@ func (s *Server) Plan() (*Cycle, error) {
 		}
 	}
 
+	if s.cfg.Sharding.Enabled {
+		return s.planSharded(qs, owners, clients, clientQueryIdx, donePlan)
+	}
+
 	inst := core.NewGeomInstance(s.cfg.Model, qs, s.cfg.Procedure, s.cfg.Estimator)
 	// One concurrency-safe merged-size cache for the whole replan cycle:
 	// the channel-allocation hill climb re-merges overlapping client
@@ -365,6 +377,58 @@ func (s *Server) Plan() (*Cycle, error) {
 	s.applySplit(cy, len(clients))
 	// Materialize the publish schedule (regions, addressed sets,
 	// headers) at plan time: it is invariant across publish rounds.
+	cy.publishPlans(s.cfg.Procedure)
+	donePlan()
+	return cy, nil
+}
+
+// planSharded is Plan's sharded pipeline: aggregation, Morton-sharded
+// concurrent solving and traffic-weighted channel balancing, all inside
+// internal/shard. The resulting cycle has the same invariants as the
+// global path (every query in exactly one plan set, on its owner's
+// channel), so splitting and publish-plan materialization apply
+// unchanged.
+func (s *Server) planSharded(qs []query.Query, owners, clients []int, clientQueryIdx [][]int, donePlan func()) (*Cycle, error) {
+	cat := s.cfg.Metrics
+	prob := &shard.Problem{
+		Queries:     qs,
+		Clients:     clientQueryIdx,
+		Channels:    s.net.Channels(),
+		Model:       s.cfg.Model,
+		Procedure:   s.cfg.Procedure,
+		Estimator:   s.cfg.Estimator,
+		Algorithm:   s.cfg.Algorithm,
+		Parallelism: s.cfg.Parallelism,
+		Config:      s.cfg.Sharding,
+	}
+	if cat != nil {
+		prob.MemoHits = cat.MemoHits
+		prob.MemoMisses = cat.MemoMisses
+		prob.MemoContended = cat.MemoContended
+		prob.Metrics = &core.SolverMetrics{
+			HeapPops:        cat.SolverHeapPops,
+			Merges:          cat.SolverMerges,
+			Restarts:        cat.SolverRestarts,
+			Components:      cat.SolverComponents,
+			ConvergenceCost: cat.SolverConvergenceCost,
+		}
+	}
+	res, err := shard.Plan(prob)
+	if err != nil {
+		return nil, fmt.Errorf("server: sharded planning: %w", err)
+	}
+	cy := &Cycle{
+		Queries:       qs,
+		Owners:        owners,
+		ClientChannel: make(map[int]int, len(clients)),
+		ChannelPlans:  res.ChannelPlans,
+		EstimatedCost: res.EstimatedCost,
+		InitialCost:   res.InitialCost,
+	}
+	for ci, id := range clients {
+		cy.ClientChannel[id] = res.ClientChannel[ci]
+	}
+	s.applySplit(cy, len(clients))
 	cy.publishPlans(s.cfg.Procedure)
 	donePlan()
 	return cy, nil

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"qsub/internal/client"
+	"qsub/internal/shard"
+	"qsub/internal/workload"
+)
+
+// subscribeWorkload subscribes nq clustered queries across nc clients on
+// both servers and returns the client set (for delivery tests).
+func subscribeWorkload(t *testing.T, seed int64, nq, nc int, dupF float64, servers ...*Server) map[int]*client.Client {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Seed = seed
+	cfg.DupF = dupF
+	gen := workload.MustNewGenerator(cfg)
+	qs := gen.Queries(nq)
+	clients := map[int]*client.Client{}
+	for i, q := range qs {
+		id := i % nc
+		if clients[id] == nil {
+			clients[id] = client.New(id)
+		}
+		clients[id].AddQuery(q)
+		for _, s := range servers {
+			if err := s.Subscribe(id, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return clients
+}
+
+// TestShardedEquivalenceAblation is the acceptance ablation: the sharded
+// pipeline with one shard and aggregation disabled must reproduce the
+// existing global solve bit-for-bit — identical channel plans, client
+// assignment, and float-identical costs.
+func TestShardedEquivalenceAblation(t *testing.T) {
+	for _, split := range []bool{false, true} {
+		relA, netA := buildWorld(t, 1, 2000, 11)
+		defer netA.Close()
+		relB, netB := buildWorld(t, 1, 2000, 11)
+		defer netB.Close()
+		base, err := New(relA, netA, Config{Model: testModel, Split: split})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded, err := New(relB, netB, Config{
+			Model: testModel, Split: split,
+			Sharding: shard.Config{Enabled: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subscribeWorkload(t, 13, 60, 8, 0, base, sharded)
+
+		want, err := base.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sharded.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.ChannelPlans, want.ChannelPlans) {
+			t.Fatalf("split=%v: sharded channel plans differ:\n  got  %v\n  want %v",
+				split, got.ChannelPlans, want.ChannelPlans)
+		}
+		if !reflect.DeepEqual(got.ClientChannel, want.ClientChannel) {
+			t.Fatalf("split=%v: client assignment differs", split)
+		}
+		if got.EstimatedCost != want.EstimatedCost {
+			t.Fatalf("split=%v: EstimatedCost %v != %v (must be bit-identical)",
+				split, got.EstimatedCost, want.EstimatedCost)
+		}
+		if got.InitialCost != want.InitialCost {
+			t.Fatalf("split=%v: InitialCost %v != %v (must be bit-identical)",
+				split, got.InitialCost, want.InitialCost)
+		}
+		if !reflect.DeepEqual(got.ChannelCovered, want.ChannelCovered) {
+			t.Fatalf("split=%v: split-covered sets differ", split)
+		}
+	}
+}
+
+// TestShardedEndToEndExactness pins the aggregation exactness contract
+// at the system level: with aggregation and sharding fully enabled on a
+// duplicate-heavy workload, every client's extracted answer still equals
+// the answer of running its query directly against the relation.
+func TestShardedEndToEndExactness(t *testing.T) {
+	for _, channels := range []int{1, 3} {
+		rel, net := buildWorld(t, channels, 2000, 21)
+		defer net.Close()
+		s, err := New(rel, net, Config{
+			Model: testModel,
+			Sharding: shard.Config{
+				Enabled:   true,
+				ShardBits: 3,
+				Aggregate: true,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients := subscribeWorkload(t, 23, 48, 6, 0.4, s)
+		cy := runCycle(t, s, clients)
+		if err := ValidateCycle(cy, channels); err != nil {
+			t.Fatalf("channels=%d: %v", channels, err)
+		}
+		for id, c := range clients {
+			for _, q := range c.Queries() {
+				got := c.Answer(q.ID)
+				want := q.Answer(rel)
+				if len(got) != len(want) {
+					t.Fatalf("channels=%d client %d query %d: got %d tuples, want %d",
+						channels, id, q.ID, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].ID != want[i].ID {
+						t.Fatalf("channels=%d client %d query %d: tuple mismatch at %d",
+							channels, id, q.ID, i)
+					}
+				}
+			}
+		}
+	}
+}

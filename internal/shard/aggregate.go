@@ -1,0 +1,268 @@
+// Package shard implements the sharded planning pipeline: subscription
+// aggregation, Morton-code spatial sharding, concurrent per-shard query
+// merging on per-shard memoized sizers, and stitching of per-shard plans
+// into one global per-channel publish schedule.
+//
+// The pipeline trades a small amount of plan quality for asymptotic
+// planning cost: instead of one global solve over n subscriptions (the
+// §6 merge algorithms are Ω(n²), channel allocation re-merges per probe)
+// it (1) collapses covered and near-duplicate subscriptions into
+// representatives, (2) partitions the representatives into 2^ShardBits
+// Z-order cells, and (3) solves each cell independently, so total work
+// is Σ m_i² with Σ m_i ≤ reps ≪ n. The member→representative mapping is
+// tracked throughout and every stitched plan set is expanded back to
+// original query indices, so publish addressing and client extraction
+// remain exact — aggregation only changes what the solver sees, never
+// what clients receive (the "aggregation exactness contract", DESIGN.md
+// §8).
+package shard
+
+import (
+	"sort"
+
+	"qsub/internal/geom"
+	"qsub/internal/query"
+)
+
+// Rep is one aggregation representative: a bounding rectangle covering
+// every member subscription's footprint, plus the member query indices.
+type Rep struct {
+	// Rect covers the bounding rectangles of all member regions.
+	Rect geom.Rect
+	// Members are the original query indices, in ascending order.
+	Members []int
+}
+
+// Aggregation is the result of the aggregation pass: the representative
+// list and the member→representative mapping. With aggregation disabled
+// the identity aggregation has one singleton Rep per query.
+type Aggregation struct {
+	Reps []Rep
+	// RepOf maps each original query index to its representative.
+	RepOf []int
+	// Collapsed counts queries absorbed into a non-singleton Rep
+	// (n − len(Reps)).
+	Collapsed int
+}
+
+// aggCellCandidates bounds how many same-cell representatives a cover
+// probe inspects. Coverage absorption is an optimization, not a
+// correctness requirement (stitched sets always re-merge original
+// regions), so capping the scan keeps the pass near-linear on
+// adversarial inputs.
+const aggCellCandidates = 64
+
+// coverGridSide is the resolution of the transient grid used by the
+// covered-representative pass.
+const coverGridSide = 64
+
+// Aggregate collapses the queries into representatives. Two queries are
+// near-duplicates when their bounding rectangles quantize to the same
+// cell signature on a grid of pitch slack·extent; a representative is
+// covered when its rectangle lies inside a larger representative's
+// rectangle expanded by one pitch. Both collapse member lists into the
+// surviving Rep, whose rectangle is the union of its members' bounds,
+// so a Rep always covers everything it stands for.
+//
+// slack ≤ 0 selects the default of 1/128 of the workload extent per
+// axis. The pass is deterministic: iteration follows query index order
+// and ties break on lower index.
+func Aggregate(qs []query.Query, slack float64) Aggregation {
+	n := len(qs)
+	agg := Aggregation{RepOf: make([]int, n)}
+	if n == 0 {
+		return agg
+	}
+	rects := make([]geom.Rect, n)
+	bounds := geom.EmptyRect()
+	for i, q := range qs {
+		rects[i] = q.Region.BoundingRect()
+		bounds = bounds.Union(rects[i])
+	}
+	if slack <= 0 {
+		slack = 1.0 / 128
+	}
+	pitchX := bounds.Width() * slack
+	pitchY := bounds.Height() * slack
+	quant := func(v, lo, pitch float64) int32 {
+		if pitch <= 0 {
+			return 0
+		}
+		return int32((v - lo) / pitch)
+	}
+
+	// Pass 1 — near-duplicates: queries whose quantized corner signature
+	// matches join the first-seen representative for that signature.
+	type sig struct{ x0, y0, x1, y1 int32 }
+	repAt := make(map[sig]int, n)
+	for i, r := range rects {
+		s := sig{
+			quant(r.MinX, bounds.MinX, pitchX), quant(r.MinY, bounds.MinY, pitchY),
+			quant(r.MaxX, bounds.MinX, pitchX), quant(r.MaxY, bounds.MinY, pitchY),
+		}
+		ri, ok := repAt[s]
+		if !ok {
+			ri = len(agg.Reps)
+			repAt[s] = ri
+			agg.Reps = append(agg.Reps, Rep{Rect: r})
+		}
+		agg.Reps[ri].Rect = agg.Reps[ri].Rect.Union(r)
+		agg.Reps[ri].Members = append(agg.Reps[ri].Members, i)
+		agg.RepOf[i] = ri
+	}
+
+	// Pass 2 — covered representatives: a rep inside another rep's
+	// rectangle expanded by one quantization pitch is absorbed by it
+	// (the expansion catches near-duplicates whose corners straddle a
+	// quantization cell boundary and so escaped pass 1). Candidates come
+	// from a coarse grid keyed by the covered rep's center cell;
+	// processing order is area descending so containers exist in the
+	// grid before their contents are probed.
+	if len(agg.Reps) > 1 {
+		agg.absorbCovered(bounds, pitchX, pitchY)
+	}
+
+	agg.Collapsed = n - len(agg.Reps)
+	return agg
+}
+
+// absorbCovered runs the covered-representative pass in place,
+// compacting Reps and rewriting RepOf. A surviving Rep's rectangle is
+// re-unioned with everything it absorbs, so it always covers its
+// members even when absorption used the pitch tolerance.
+func (agg *Aggregation) absorbCovered(bounds geom.Rect, pitchX, pitchY float64) {
+	reps := agg.Reps
+	order := make([]int, len(reps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return reps[order[a]].Rect.Area() > reps[order[b]].Rect.Area()
+	})
+
+	cw := bounds.Width() / coverGridSide
+	ch := bounds.Height() / coverGridSide
+	cellOf := func(r geom.Rect) int {
+		cx, cy := 0, 0
+		if cw > 0 {
+			cx = int(((r.MinX+r.MaxX)/2 - bounds.MinX) / cw)
+			if cx >= coverGridSide {
+				cx = coverGridSide - 1
+			}
+		}
+		if ch > 0 {
+			cy = int(((r.MinY+r.MaxY)/2 - bounds.MinY) / ch)
+			if cy >= coverGridSide {
+				cy = coverGridSide - 1
+			}
+		}
+		return cy*coverGridSide + cx
+	}
+	// Insert each rep (largest first) into every grid cell its rectangle
+	// overlaps; smaller reps then probe just their center cell, which any
+	// container necessarily overlaps.
+	grid := make(map[int][]int)
+	insert := func(ri int) {
+		r := reps[ri].Rect
+		x0, x1, y0, y1 := 0, 0, 0, 0
+		if cw > 0 {
+			x0 = clampCell(int((r.MinX - bounds.MinX) / cw))
+			x1 = clampCell(int((r.MaxX - bounds.MinX) / cw))
+		}
+		if ch > 0 {
+			y0 = clampCell(int((r.MinY - bounds.MinY) / ch))
+			y1 = clampCell(int((r.MaxY - bounds.MinY) / ch))
+		}
+		for cy := y0; cy <= y1; cy++ {
+			for cx := x0; cx <= x1; cx++ {
+				cell := cy*coverGridSide + cx
+				grid[cell] = append(grid[cell], ri)
+			}
+		}
+	}
+
+	absorbedInto := make([]int, len(reps))
+	for i := range absorbedInto {
+		absorbedInto[i] = -1
+	}
+	for _, ri := range order {
+		r := reps[ri].Rect
+		found := -1
+		probes := 0
+		for _, ci := range grid[cellOf(r)] {
+			if absorbedInto[ci] >= 0 {
+				continue
+			}
+			probes++
+			if probes > aggCellCandidates {
+				break
+			}
+			c := reps[ci].Rect
+			c.MinX -= pitchX
+			c.MinY -= pitchY
+			c.MaxX += pitchX
+			c.MaxY += pitchY
+			if c.ContainsRect(r) {
+				found = ci
+				break
+			}
+		}
+		if found >= 0 {
+			absorbedInto[ri] = found
+			reps[found].Rect = reps[found].Rect.Union(r)
+			reps[found].Members = append(reps[found].Members, reps[ri].Members...)
+			continue
+		}
+		insert(ri)
+	}
+
+	// Compact the survivors, preserving first-appearance order, and
+	// rewrite the mapping.
+	newIndex := make([]int, len(reps))
+	var out []Rep
+	for i := range reps {
+		if absorbedInto[i] >= 0 {
+			newIndex[i] = -1
+			continue
+		}
+		newIndex[i] = len(out)
+		sort.Ints(reps[i].Members)
+		out = append(out, reps[i])
+	}
+	resolve := func(i int) int {
+		for absorbedInto[i] >= 0 {
+			i = absorbedInto[i]
+		}
+		return newIndex[i]
+	}
+	for q := range agg.RepOf {
+		agg.RepOf[q] = resolve(agg.RepOf[q])
+	}
+	agg.Reps = out
+}
+
+func clampCell(c int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= coverGridSide {
+		return coverGridSide - 1
+	}
+	return c
+}
+
+// Identity returns the no-op aggregation: one singleton representative
+// per query, in query order. The sharded pipeline uses it when
+// aggregation is disabled so downstream stages see one shape.
+func Identity(qs []query.Query) Aggregation {
+	n := len(qs)
+	agg := Aggregation{
+		Reps:  make([]Rep, n),
+		RepOf: make([]int, n),
+	}
+	for i, q := range qs {
+		agg.Reps[i] = Rep{Rect: q.Region.BoundingRect(), Members: []int{i}}
+		agg.RepOf[i] = i
+	}
+	return agg
+}

@@ -1,0 +1,129 @@
+package shard
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"qsub/internal/geom"
+	"qsub/internal/query"
+	"qsub/internal/workload"
+)
+
+// checkPartition fails unless the aggregation's member lists partition
+// 0..n-1 exactly once, RepOf agrees with membership, and every Rep's
+// rectangle covers its members' bounds.
+func checkPartition(t *testing.T, qs []query.Query, agg Aggregation) {
+	t.Helper()
+	seen := make([]int, len(qs))
+	for ri, rep := range agg.Reps {
+		if len(rep.Members) == 0 {
+			t.Fatalf("rep %d has no members", ri)
+		}
+		for _, m := range rep.Members {
+			if m < 0 || m >= len(qs) {
+				t.Fatalf("rep %d member %d out of range", ri, m)
+			}
+			seen[m]++
+			if agg.RepOf[m] != ri {
+				t.Fatalf("RepOf[%d] = %d, but query is a member of rep %d", m, agg.RepOf[m], ri)
+			}
+			if !rep.Rect.ContainsRect(qs[m].Region.BoundingRect()) {
+				t.Fatalf("rep %d rect %v does not cover member %d rect %v",
+					ri, rep.Rect, m, qs[m].Region.BoundingRect())
+			}
+		}
+	}
+	for q, c := range seen {
+		if c != 1 {
+			t.Fatalf("query %d appears in %d representative member lists", q, c)
+		}
+	}
+	if agg.Collapsed != len(qs)-len(agg.Reps) {
+		t.Fatalf("Collapsed = %d, want %d", agg.Collapsed, len(qs)-len(agg.Reps))
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	qs := workload.MustNewGenerator(workload.DefaultConfig()).Queries(50)
+	agg := Identity(qs)
+	if len(agg.Reps) != 50 || agg.Collapsed != 0 {
+		t.Fatalf("identity gave %d reps, %d collapsed", len(agg.Reps), agg.Collapsed)
+	}
+	checkPartition(t, qs, agg)
+	for i, rep := range agg.Reps {
+		if len(rep.Members) != 1 || rep.Members[0] != i {
+			t.Fatalf("rep %d members %v, want [%d]", i, rep.Members, i)
+		}
+	}
+}
+
+func TestAggregateNearDuplicates(t *testing.T) {
+	// 10 base rectangles, each repeated 10 times with jitter far below
+	// the quantization pitch: aggregation must collapse each family.
+	rng := rand.New(rand.NewSource(3))
+	var qs []query.Query
+	for b := 0; b < 10; b++ {
+		x := float64(b) * 100
+		for c := 0; c < 10; c++ {
+			j := rng.Float64() * 1e-6
+			qs = append(qs, query.Range(query.ID(len(qs)), geom.R(x+j, j, x+50+j, 50+j)))
+		}
+	}
+	agg := Aggregate(qs, 0)
+	checkPartition(t, qs, agg)
+	if len(agg.Reps) > 10 {
+		t.Fatalf("near-duplicate families not collapsed: %d reps for 10 families", len(agg.Reps))
+	}
+}
+
+func TestAggregateCovered(t *testing.T) {
+	// One big rectangle plus many small ones strictly inside it: the
+	// covered pass absorbs every one into the big representative.
+	qs := []query.Query{query.Range(0, geom.R(0, 0, 1000, 1000))}
+	rng := rand.New(rand.NewSource(5))
+	for i := 1; i <= 40; i++ {
+		x := rng.Float64() * 900
+		y := rng.Float64() * 900
+		qs = append(qs, query.Range(query.ID(i), geom.R(x, y, x+50, y+50)))
+	}
+	agg := Aggregate(qs, 0)
+	checkPartition(t, qs, agg)
+	if len(agg.Reps) != 1 {
+		t.Fatalf("covered queries not absorbed: %d reps, want 1", len(agg.Reps))
+	}
+	if len(agg.Reps[0].Members) != len(qs) {
+		t.Fatalf("rep holds %d members, want %d", len(agg.Reps[0].Members), len(qs))
+	}
+}
+
+func TestAggregatePartitionProperty(t *testing.T) {
+	// Random clustered workloads of varying size: whatever collapses,
+	// the member lists must remain an exact partition.
+	for _, n := range []int{1, 7, 100, 1500} {
+		cfg := workload.DefaultConfig()
+		cfg.Seed = int64(n)
+		qs := workload.MustNewGenerator(cfg).Queries(n)
+		agg := Aggregate(qs, 0)
+		checkPartition(t, qs, agg)
+		if len(agg.Reps) > n {
+			t.Fatalf("n=%d: more reps (%d) than queries", n, len(agg.Reps))
+		}
+	}
+}
+
+func TestAggregateDeterministic(t *testing.T) {
+	qs := workload.MustNewGenerator(workload.DefaultConfig()).Queries(800)
+	a := Aggregate(qs, 0)
+	b := Aggregate(qs, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Aggregate is not deterministic for identical input")
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	agg := Aggregate(nil, 0)
+	if len(agg.Reps) != 0 || agg.Collapsed != 0 {
+		t.Fatalf("empty input gave %+v", agg)
+	}
+}

@@ -1,0 +1,437 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"qsub/internal/chanalloc"
+	"qsub/internal/core"
+	"qsub/internal/cost"
+	"qsub/internal/geom"
+	"qsub/internal/metrics"
+	"qsub/internal/morton"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+)
+
+// Config selects the sharded planning pipeline's policies. The zero
+// value disables the pipeline entirely (the server falls back to the
+// global solve).
+type Config struct {
+	// Enabled turns the pipeline on. With Enabled, ShardBits == 0 and
+	// Aggregate == false, the pipeline reduces to the global solve and
+	// produces bit-identical plans (the unsharded-equivalence ablation).
+	Enabled bool
+	// ShardBits is the number of Morton-code prefix bits used as the
+	// shard key: representatives are partitioned into up to 2^ShardBits
+	// Z-order cells solved independently. 0 means one shard.
+	ShardBits int
+	// Aggregate enables the subscription-aggregation pass: covered and
+	// near-duplicate subscriptions collapse into representatives before
+	// solving. Publish addressing stays exact either way (stitched sets
+	// are expanded back to original query indices).
+	Aggregate bool
+	// AggSlack is the near-duplicate quantization pitch as a fraction
+	// of the workload extent per axis; 0 means the default of 1/128.
+	AggSlack float64
+}
+
+// maxShardBits bounds the shard count at 2^20; beyond that the per-shard
+// bookkeeping dominates any solving.
+const maxShardBits = 20
+
+// shards returns the shard count the configuration asks for.
+func (c Config) shards() int {
+	b := c.ShardBits
+	if b < 0 {
+		b = 0
+	}
+	if b > maxShardBits {
+		b = maxShardBits
+	}
+	return 1 << uint(b)
+}
+
+// Problem is one sharded planning instance: the flattened query list,
+// the client → query-index partition, and the policies the server's
+// global path would have used for the same cycle.
+type Problem struct {
+	// Queries is the flattened subscription list; plans index into it.
+	Queries []query.Query
+	// Clients partitions the query indices by owning client.
+	Clients [][]int
+	// Channels is the multicast channel count (≥ 1).
+	Channels int
+	// Model is the cost model; K6 is charged per channel listener on
+	// multi-channel problems exactly as chanalloc.ChannelCost does.
+	Model cost.Model
+	// Procedure is the merge procedure (default query.BoundingRect).
+	Procedure query.MergeProcedure
+	// Estimator predicts answer sizes; required.
+	Estimator relation.Estimator
+	// Algorithm is the per-shard merging algorithm (default
+	// core.PairMerge).
+	Algorithm core.Algorithm
+	// Parallelism bounds the shard-solving worker pool. Zero means
+	// GOMAXPROCS; results are identical at any setting.
+	Parallelism int
+	// Metrics optionally instruments the per-shard solver runs.
+	Metrics *core.SolverMetrics
+	// MemoHits/MemoMisses/MemoContended optionally instrument the
+	// per-shard memoized sizers; any may be nil.
+	MemoHits, MemoMisses, MemoContended *metrics.Counter
+
+	Config Config
+}
+
+// Stats summarizes what the pipeline did, for reports and tests.
+type Stats struct {
+	// Queries is the original subscription count.
+	Queries int
+	// Reps is the representative count after aggregation (== Queries
+	// when aggregation is off).
+	Reps int
+	// Collapsed counts subscriptions absorbed into a representative.
+	Collapsed int
+	// Shards is the number of non-empty shards solved.
+	Shards int
+	// MaxShardReps is the largest shard's representative count — the
+	// effective n of the most expensive per-shard solve.
+	MaxShardReps int
+}
+
+// Result is the stitched global plan: per-channel merge plans over
+// original query indices plus the client → channel assignment, in the
+// exact shape the server needs to build a Cycle.
+type Result struct {
+	// ClientChannel[i] is the channel of Problem.Clients[i].
+	ClientChannel []int
+	// ChannelPlans[ch] partitions that channel's query indices into
+	// merged sets (original query indices — aggregation is already
+	// expanded).
+	ChannelPlans []core.Plan
+	// EstimatedCost is the model cost of the stitched plan. Under
+	// aggregation it is evaluated at representative granularity.
+	EstimatedCost float64
+	// InitialCost is the no-merging cost under the same channel
+	// assignment.
+	InitialCost float64
+	Stats Stats
+}
+
+// task is one independent per-shard solve: a channel, that channel's
+// cost model (K6-adjusted), the shard's representative queries, and the
+// original query indices each representative stands for.
+type task struct {
+	ch         int
+	queries    []query.Query
+	memberSets [][]int
+	model      cost.Model
+}
+
+// taskResult carries one solved shard back: the plan expanded to
+// original query indices and its model cost.
+type taskResult struct {
+	plan core.Plan
+	cost float64
+}
+
+// Plan runs the pipeline: aggregate → shard → solve → stitch. It is
+// deterministic for a fixed problem at any Parallelism: shards are
+// solved independently on per-shard memoized sizers and stitched in
+// shard-index order.
+func Plan(p *Problem) (*Result, error) {
+	n := len(p.Queries)
+	if n == 0 {
+		return nil, errors.New("shard: no queries to plan")
+	}
+	if p.Estimator == nil {
+		return nil, errors.New("shard: nil estimator")
+	}
+	if len(p.Clients) == 0 {
+		return nil, errors.New("shard: no clients")
+	}
+	for c, qs := range p.Clients {
+		for _, q := range qs {
+			if q < 0 || q >= n {
+				return nil, fmt.Errorf("shard: client %d subscribes to unknown query %d", c, q)
+			}
+		}
+	}
+	channels := p.Channels
+	if channels < 1 {
+		channels = 1
+	}
+	proc := p.Procedure
+	if proc == nil {
+		proc = query.BoundingRect{}
+	}
+	algo := p.Algorithm
+	if algo == nil {
+		algo = core.PairMerge{}
+	}
+
+	// Workload geometry shared by every stage: query bounding rects and
+	// the global bounds normalizing every Morton code, so shard cells
+	// are identical across channels.
+	rects := make([]geom.Rect, n)
+	bounds := geom.EmptyRect()
+	for i, q := range p.Queries {
+		rects[i] = q.Region.BoundingRect()
+		bounds = bounds.Union(rects[i])
+	}
+
+	// Singleton sizes drive channel balancing and the no-merge
+	// baseline. The global instance's sizer is the same one the
+	// unsharded path estimates with.
+	ginst := core.NewGeomInstance(p.Model, p.Queries, proc, p.Estimator)
+	sizes := make([]float64, n)
+	for i := range sizes {
+		sizes[i] = ginst.Sizer.Size(i)
+	}
+
+	res := &Result{
+		ClientChannel: make([]int, len(p.Clients)),
+		ChannelPlans:  make([]core.Plan, channels),
+		Stats:         Stats{Queries: n},
+	}
+
+	// Stage 0 — channel assignment. One channel trivially takes every
+	// client. Otherwise shards are balanced across channels by traffic
+	// weight (LPT) and each client follows the channels holding the
+	// majority of its subscribed weight, so the per-channel solves below
+	// stay client-disjoint (a client listens to exactly one channel).
+	listeners := make([]int, channels)
+	chQIdx := make([][]int, channels)
+	if channels == 1 {
+		listeners[0] = len(p.Clients)
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		chQIdx[0] = all
+	} else {
+		shardOf := make([]int, n)
+		numShards := p.Config.shards()
+		shardWeight := make([]float64, numShards)
+		for i := range p.Queries {
+			shardOf[i] = rectShard(rects[i], bounds, p.Config.ShardBits)
+			shardWeight[shardOf[i]] += sizes[i]
+		}
+		shardChannel := chanalloc.BalanceWeights(shardWeight, channels)
+		chWeight := make([]float64, channels)
+		for ci, qs := range p.Clients {
+			for ch := range chWeight {
+				chWeight[ch] = 0
+			}
+			for _, q := range qs {
+				chWeight[shardChannel[shardOf[q]]] += sizes[q]
+			}
+			best := 0
+			for ch := 1; ch < channels; ch++ {
+				if chWeight[ch] > chWeight[best] {
+					best = ch
+				}
+			}
+			res.ClientChannel[ci] = best
+			listeners[best]++
+			for _, q := range qs {
+				chQIdx[best] = append(chQIdx[best], q)
+			}
+		}
+		for ch := range chQIdx {
+			sort.Ints(chQIdx[ch])
+		}
+	}
+
+	// Stages 1–2 — per-channel aggregation and sharding, flattened into
+	// one task list the worker pool drains.
+	var tasks []task
+	for ch := 0; ch < channels; ch++ {
+		if len(chQIdx[ch]) == 0 {
+			continue
+		}
+		chQueries := make([]query.Query, len(chQIdx[ch]))
+		for j, q := range chQIdx[ch] {
+			chQueries[j] = p.Queries[q]
+		}
+		var agg Aggregation
+		if p.Config.Aggregate {
+			agg = Aggregate(chQueries, p.Config.AggSlack)
+		} else {
+			agg = Identity(chQueries)
+		}
+		// Remap member indices (positions in chQueries) back to global
+		// query indices once, so stitched sets need no further mapping.
+		for ri := range agg.Reps {
+			for mi, m := range agg.Reps[ri].Members {
+				agg.Reps[ri].Members[mi] = chQIdx[ch][m]
+			}
+		}
+		res.Stats.Reps += len(agg.Reps)
+		res.Stats.Collapsed += agg.Collapsed
+
+		model := p.Model
+		if channels > 1 {
+			// Per-listener filtering charge, mirroring
+			// chanalloc.ChannelCost's coupling of allocation to merging.
+			model.KM += model.K6 * float64(listeners[ch])
+		}
+
+		for _, repIdx := range shardReps(agg.Reps, bounds, p.Config.ShardBits) {
+			tq := make([]query.Query, len(repIdx))
+			for j, ri := range repIdx {
+				if p.Config.Aggregate {
+					tq[j] = query.Range(0, agg.Reps[ri].Rect)
+				} else {
+					tq[j] = p.Queries[agg.Reps[ri].Members[0]]
+				}
+			}
+			members := make([][]int, len(repIdx))
+			for j, ri := range repIdx {
+				members[j] = agg.Reps[ri].Members
+			}
+			tasks = append(tasks, task{ch: ch, queries: tq, memberSets: members, model: model})
+			if len(repIdx) > res.Stats.MaxShardReps {
+				res.Stats.MaxShardReps = len(repIdx)
+			}
+		}
+	}
+	res.Stats.Shards = len(tasks)
+
+	// Stage 3 — solve every shard concurrently on a per-shard memoized
+	// sizer. Results land in indexed slots, so the stitch below is
+	// deterministic at any parallelism.
+	results := make([]taskResult, len(tasks))
+	workers := p.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range next {
+				results[ti] = solveShard(&tasks[ti], proc, p.Estimator, algo, p)
+			}
+		}()
+	}
+	for ti := range tasks {
+		next <- ti
+	}
+	close(next)
+	wg.Wait()
+
+	// Stage 4 — stitch: concatenate shard plans per channel (task order
+	// is channel-major, shard-ascending) and sum costs.
+	for ti := range tasks {
+		ch := tasks[ti].ch
+		res.ChannelPlans[ch] = append(res.ChannelPlans[ch], results[ti].plan...)
+		res.EstimatedCost += results[ti].cost
+	}
+	if channels > 1 {
+		for ch := 0; ch < channels; ch++ {
+			if len(chQIdx[ch]) > 0 {
+				res.EstimatedCost += p.Model.KD
+			}
+		}
+	}
+
+	// The no-merging baseline under the same channel assignment (the
+	// savings denominator): one message per query, each charged the
+	// channel's per-listener filtering, plus per-channel maintenance.
+	if channels == 1 {
+		for i := 0; i < n; i++ {
+			res.InitialCost += p.Model.KM + p.Model.KT*sizes[i]
+		}
+	} else {
+		for ch := 0; ch < channels; ch++ {
+			if len(chQIdx[ch]) == 0 {
+				continue
+			}
+			km := p.Model.KM + p.Model.K6*float64(listeners[ch])
+			for _, q := range chQIdx[ch] {
+				res.InitialCost += km + p.Model.KT*sizes[q]
+			}
+			res.InitialCost += p.Model.KD
+		}
+	}
+	return res, nil
+}
+
+// solveShard runs the merging algorithm on one shard's representative
+// instance (fresh per-shard cost.Memo) and expands the plan back to
+// original query indices.
+func solveShard(t *task, proc query.MergeProcedure, est relation.Estimator, algo core.Algorithm, p *Problem) taskResult {
+	inst := core.NewGeomInstance(t.model, t.queries, proc, est)
+	memo := cost.NewMemo(inst.Sizer, inst.N)
+	memo.SetMetrics(p.MemoHits, p.MemoMisses, p.MemoContended)
+	inst.Sizer = memo
+	inst.Metrics = p.Metrics
+	plan := algo.Solve(inst)
+	c := inst.Cost(plan)
+	out := make(core.Plan, len(plan))
+	for si, set := range plan {
+		var expanded []int
+		for _, local := range set {
+			expanded = append(expanded, t.memberSets[local]...)
+		}
+		out[si] = expanded
+	}
+	return taskResult{plan: out, cost: c}
+}
+
+// rectShard returns the Z-order cell of a rectangle's center.
+func rectShard(r geom.Rect, bounds geom.Rect, bits int) int {
+	code := morton.Code2(
+		morton.Normalize((r.MinX+r.MaxX)/2, bounds.MinX, bounds.MaxX),
+		morton.Normalize((r.MinY+r.MaxY)/2, bounds.MinY, bounds.MaxY),
+	)
+	return morton.Prefix(code, 2, clampBits(bits))
+}
+
+func clampBits(b int) int {
+	if b < 0 {
+		return 0
+	}
+	if b > maxShardBits {
+		return maxShardBits
+	}
+	return b
+}
+
+// shardReps groups representative indices by the Z-order cell of their
+// rectangle centers, returning the non-empty groups in ascending cell
+// order (each group's members stay in ascending rep order).
+func shardReps(reps []Rep, bounds geom.Rect, bits int) [][]int {
+	if clampBits(bits) == 0 {
+		all := make([]int, len(reps))
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}
+	}
+	byCell := make(map[int][]int)
+	for ri := range reps {
+		cell := rectShard(reps[ri].Rect, bounds, bits)
+		byCell[cell] = append(byCell[cell], ri)
+	}
+	cells := make([]int, 0, len(byCell))
+	for cell := range byCell {
+		cells = append(cells, cell)
+	}
+	sort.Ints(cells)
+	out := make([][]int, len(cells))
+	for i, cell := range cells {
+		out[i] = byCell[cell]
+	}
+	return out
+}

@@ -32,6 +32,12 @@ type Config struct {
 	DF float64
 	// MinW, MaxW, MinH, MaxH bound the query rectangle extents.
 	MinW, MaxW, MinH, MaxH float64
+	// DupF is the near-duplicate fraction: that share of the generated
+	// queries are jittered copies of earlier queries (jitter far below
+	// the aggregation pitch), modelling populations subscribing to the
+	// same hotspots. 0 ≤ DupF < 1; 0 (the default) generates exactly
+	// the historical workload.
+	DupF float64
 	// Seed drives all randomness; equal seeds give equal workloads.
 	Seed int64
 }
@@ -69,6 +75,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("workload: invalid query extent ranges [%g,%g]×[%g,%g]",
 			c.MinW, c.MaxW, c.MinH, c.MaxH)
 	}
+	if c.DupF < 0 || c.DupF >= 1 {
+		return fmt.Errorf("workload: DupF %g outside [0,1)", c.DupF)
+	}
 	return nil
 }
 
@@ -100,8 +109,30 @@ func MustNewGenerator(cfg Config) *Generator {
 // Queries generates n queries: round(cf·n) clustered, the rest uniform.
 // Cluster origins are uniform over the database; clustered query centers
 // are normal around their origin with standard deviation DF, clamped to
-// the database bounds.
+// the database bounds. With DupF > 0 the trailing round(DupF·n) queries
+// are near-duplicates: copies of uniformly chosen earlier queries with
+// corner jitter of at most 1e-6 units.
 func (g *Generator) Queries(n int) []query.Query {
+	nDup := int(g.cfg.DupF*float64(n) + 0.5)
+	if nDup >= n {
+		nDup = n - 1
+	}
+	base := n - nDup
+	out := g.baseQueries(base)
+	for len(out) < n {
+		src := out[g.rng.Intn(len(out))]
+		r := src.Region.BoundingRect()
+		j := func() float64 { return (g.rng.Float64() - 0.5) * 2e-6 }
+		g.nextID++
+		out = append(out, query.Range(g.nextID, geom.R(
+			g.clampX(r.MinX+j()), g.clampY(r.MinY+j()),
+			g.clampX(r.MaxX+j()), g.clampY(r.MaxY+j()),
+		)))
+	}
+	return out
+}
+
+func (g *Generator) baseQueries(n int) []query.Query {
 	nClustered := int(g.cfg.CF*float64(n) + 0.5)
 	out := make([]query.Query, 0, n)
 

@@ -52,6 +52,7 @@ import (
 	"qsub/internal/query"
 	"qsub/internal/relation"
 	"qsub/internal/server"
+	"qsub/internal/shard"
 	"qsub/internal/trace"
 	"qsub/internal/workload"
 )
@@ -246,6 +247,32 @@ func NewServer(rel *Relation, net *Network, cfg ServerConfig) (*Server, error) {
 
 // NewClient creates a client with the given id and subscription queries.
 func NewClient(id int, qs ...Query) *Client { return client.New(id, qs...) }
+
+// Sharded planning pipeline: subscription aggregation, Morton-sharded
+// concurrent solving, and traffic-weighted channel balancing for
+// 100k+-subscription workloads. Enable it per server via
+// ServerConfig.Sharding, or run it standalone with ShardPlan.
+type (
+	// ShardConfig selects the sharded pipeline's policies.
+	ShardConfig = shard.Config
+	// ShardProblem is one standalone sharded planning instance.
+	ShardProblem = shard.Problem
+	// ShardResult is the stitched global plan with pipeline statistics.
+	ShardResult = shard.Result
+	// ShardStats summarizes what the pipeline did.
+	ShardStats = shard.Stats
+	// ShardAggregation is the representative set of an aggregation pass.
+	ShardAggregation = shard.Aggregation
+)
+
+// ShardPlan runs aggregate → shard → solve → stitch on one problem.
+func ShardPlan(p *ShardProblem) (*ShardResult, error) { return shard.Plan(p) }
+
+// AggregateQueries collapses covered and near-duplicate queries into
+// representatives (slack ≤ 0 selects the default pitch of 1/128).
+func AggregateQueries(qs []Query, slack float64) ShardAggregation {
+	return shard.Aggregate(qs, slack)
+}
 
 // Channel allocation.
 type (
