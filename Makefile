@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-delivery bench bench-save bench-compare check cover experiments fuzz clean
+.PHONY: all build test vet race race-delivery bench bench-save bench-compare check cover experiments fuzz loadtest clean
 
 # Coverage floor for the observability layer: the metrics registry is
 # the contract every hot path leans on, so its package stays near-fully
@@ -58,6 +58,13 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Short-mode fan-out load harness: 500 real TCP sessions through the
+# split-process driver, shared path and per-session-encode ablation,
+# sanity-gating the delivery fabric on every CI run without the full
+# 10k-session measurement (that lives in `make bench-save`).
+loadtest:
+	$(GO) run ./cmd/qsubload -sessions 500 -channels 8 -cycles 2 -mode both
+
 # Runs the solver-engine, channel-allocation and dissemination-engine
 # benchmarks and records them as JSON for committing alongside the code
 # (see DESIGN.md "Solver engine" and "Dissemination engine").
@@ -84,6 +91,9 @@ bench-save:
 		-bench 'BenchmarkShardPlan|BenchmarkAggregate' \
 		-benchmem -benchtime 1x ./internal/shard \
 		| $(GO) run ./cmd/benchjson -o BENCH_sharding.json
+	{ $(GO) run ./cmd/qsubload -sessions 2000 -channels 16 -cycles 3 -mode both; \
+	  $(GO) run ./cmd/qsubload -sessions 10000 -channels 64 -cycles 3 -timeout 10m -mode both; } \
+		| $(GO) run ./cmd/benchjson -o BENCH_fanout.json
 
 # Diffs a fresh bench-save against the committed baselines, failing on
 # >20% time/op or allocs/op regressions.
@@ -92,11 +102,13 @@ bench-compare:
 	cp BENCH_chanalloc.json /tmp/BENCH_chanalloc.baseline.json
 	cp BENCH_publish.json /tmp/BENCH_publish.baseline.json
 	cp BENCH_sharding.json /tmp/BENCH_sharding.baseline.json
+	cp BENCH_fanout.json /tmp/BENCH_fanout.baseline.json
 	$(MAKE) bench-save
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_solvers.baseline.json BENCH_solvers.json
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_chanalloc.baseline.json BENCH_chanalloc.json
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_publish.baseline.json BENCH_publish.json
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_sharding.baseline.json BENCH_sharding.json
+	$(GO) run ./cmd/benchjson compare /tmp/BENCH_fanout.baseline.json BENCH_fanout.json
 
 # Regenerates every table and figure (see EXPERIMENTS.md).
 experiments:

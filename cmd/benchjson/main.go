@@ -8,12 +8,15 @@
 //	go test -bench 'PairMerge' -benchmem | benchjson -o BENCH_solvers.json
 //	benchjson compare OLD.json NEW.json [-threshold 0.20]
 //
-// Four suites are committed: BENCH_solvers.json (solver engine),
+// Five suites are committed: BENCH_solvers.json (solver engine),
 // BENCH_chanalloc.json (channel allocation), BENCH_publish.json (the
 // dissemination engine — publish, client extraction and wire encoding,
-// concatenated from the server, client and wire packages) and
+// concatenated from the server, client and wire packages),
 // BENCH_sharding.json (the sharded planning pipeline, including the
-// 100k-subscription acceptance rows).
+// 100k-subscription acceptance rows) and BENCH_fanout.json (the
+// encode-once fan-out load harness: qsubload emits bench-compatible
+// lines from real-socket runs, shared path vs per-session-encode
+// ablation).
 //
 // Standard benchmark lines parse into name, iterations, ns/op and — when
 // -benchmem is on — B/op and allocs/op; any custom b.ReportMetric units

@@ -52,6 +52,7 @@ func main() {
 		shardBits = flag.Int("shards", 0, "plan with the sharded pipeline using this many Morton prefix bits (2^bits shards; 0 with -aggregate=false disables sharding)")
 		aggregate = flag.Bool("aggregate", false, "collapse covered/near-duplicate subscriptions before solving (sharded pipeline)")
 
+		perSession = flag.Bool("per-session-encode", false, "disable the encode-once fan-out fabric and re-encode every message per receiving session (ablation/debug)")
 		readIdle   = flag.Duration("read-idle", 5*time.Minute, "drop a session that sends no frame for this long (0 disables)")
 		writeTO    = flag.Duration("write-timeout", daemon.DefaultWriteTimeout, "per-frame write deadline for session connections (0 disables)")
 		subBuffer  = flag.Int("sub-buffer", daemon.DefaultSubscriberBuffer, "per-session delivery queue depth")
@@ -101,6 +102,7 @@ func main() {
 		log.Fatal(err)
 	}
 	d.Logf = log.Printf
+	d.PerSessionEncode = *perSession
 	d.ReadIdleTimeout = *readIdle
 	d.WriteTimeout = *writeTO
 	d.SubscriberBuffer = *subBuffer

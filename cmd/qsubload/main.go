@@ -1,0 +1,170 @@
+// Command qsubload is the real-socket fan-out load harness: it drives
+// thousands of concurrent netclient sessions over loopback TCP against
+// one daemon and reports delivery throughput, per-frame latency
+// percentiles, encodes per cycle and bytes per cycle as `go test
+// -bench` style lines that benchjson ingests into BENCH_fanout.json.
+//
+// By default the daemon runs in a child process (re-exec with -serve)
+// so each half stays under RLIMIT_NOFILE at 10k+ sessions; -split=false
+// keeps everything in one process for small runs and debugging.
+//
+// Usage:
+//
+//	qsubload -sessions 10000 -channels 64            # shared-frame fabric
+//	qsubload -sessions 10000 -mode both              # shared + ablation, report speedup
+//	qsubload -sessions 500 -split=false -mode ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"runtime/pprof"
+	"strconv"
+	"time"
+
+	"qsub/internal/loadtest"
+)
+
+func main() {
+	var (
+		sessions = flag.Int("sessions", 10000, "concurrent netclient sessions (one subscription each)")
+		channels = flag.Int("channels", 64, "multicast channels")
+		cycles   = flag.Int("cycles", 3, "measured delta cycles after the bootstrap cycle")
+		mode     = flag.String("mode", "shared", "delivery path under test: shared, ablation (per-session encode) or both")
+		split    = flag.Bool("split", true, "run the daemon in a child process (halves the per-process fd load)")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "per-phase timeout")
+		verbose  = flag.Bool("v", false, "log harness progress to stderr")
+		serve    = flag.Bool("serve", false, "internal: run the daemon half on stdin/stdout (split-process child)")
+		profile  = flag.String("cpuprofile", "", "write a CPU profile of the daemon half to this file")
+	)
+	flag.Parse()
+
+	cfg := loadtest.Config{
+		Sessions: *sessions,
+		Channels: *channels,
+		Cycles:   *cycles,
+		Timeout:  *timeout,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+
+	if *serve {
+		cfg.PerSessionEncode = *mode == "ablation"
+		if *profile != "" {
+			f, err := os.Create(*profile)
+			if err != nil {
+				log.Fatalf("qsubload: %v", err)
+			}
+			pprof.StartCPUProfile(f)
+			defer pprof.StopCPUProfile()
+		}
+		// Best effort: raise the daemon child's scheduling priority so
+		// the measured fan-out wall time reflects the delivery engine's
+		// own work rather than CPU contention with the client half on
+		// small hosts. Both modes get the same boost, so the comparison
+		// stays fair; failure (no privilege) is ignored.
+		elevate()
+		if err := loadtest.ServeProtocol(cfg, os.Stdin, os.Stdout); err != nil {
+			log.Fatalf("qsubload: serve: %v", err)
+		}
+		return
+	}
+
+	var modes []bool // PerSessionEncode per run
+	switch *mode {
+	case "shared":
+		modes = []bool{false}
+	case "ablation":
+		modes = []bool{true}
+	case "both":
+		modes = []bool{false, true}
+	default:
+		log.Fatalf("qsubload: unknown -mode %q (want shared, ablation or both)", *mode)
+	}
+
+	results := make([]loadtest.Result, 0, len(modes))
+	for _, perSession := range modes {
+		runCfg := cfg
+		runCfg.PerSessionEncode = perSession
+		res, err := run(runCfg, *split, *profile)
+		if err != nil {
+			log.Fatalf("qsubload: %v", err)
+		}
+		fmt.Println(res.BenchLine())
+		if res.Flushes > 0 {
+			fmt.Printf("# %s: %.1f frames per socket flush\n", res.Mode(), float64(res.Frames)/float64(res.Flushes))
+		}
+		results = append(results, res)
+	}
+	if len(results) == 2 {
+		shared, ablation := results[0], results[1]
+		fmt.Printf("# fan-out wall time per cycle: shared %s, per-session-encode %s → %.1fx speedup\n",
+			time.Duration(shared.Wall.Nanoseconds()/int64(shared.Cycles)),
+			time.Duration(ablation.Wall.Nanoseconds()/int64(ablation.Cycles)),
+			float64(ablation.Wall)/float64(shared.Wall))
+		fmt.Printf("# encodes per cycle: shared %.0f, per-session-encode %.0f\n",
+			shared.EncodesPerCycle(), ablation.EncodesPerCycle())
+	}
+}
+
+// run executes one harness measurement, either fully in-process or with
+// the daemon in a re-exec'd child speaking the line protocol. profile,
+// when set, is passed down so the daemon half writes a CPU profile.
+func run(cfg loadtest.Config, split bool, profile string) (loadtest.Result, error) {
+	if !split {
+		srv, err := loadtest.NewServer(cfg)
+		if err != nil {
+			return loadtest.Result{}, err
+		}
+		defer srv.Close()
+		return loadtest.Run(srv, cfg)
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		return loadtest.Result{}, err
+	}
+	mode := "shared"
+	if cfg.PerSessionEncode {
+		mode = "ablation"
+	}
+	args := []string{"-serve",
+		"-sessions", strconv.Itoa(cfg.Sessions),
+		"-channels", strconv.Itoa(cfg.Channels),
+		"-cycles", strconv.Itoa(cfg.Cycles),
+		"-mode", mode,
+		"-timeout", cfg.Timeout.String()}
+	if profile != "" {
+		args = append(args, "-cpuprofile", profile+"."+mode)
+	}
+	cmd := exec.Command(self, args...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return loadtest.Result{}, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return loadtest.Result{}, err
+	}
+	if err := cmd.Start(); err != nil {
+		return loadtest.Result{}, err
+	}
+	defer cmd.Process.Kill() // no-op after a clean Close/Wait
+
+	ctl, err := loadtest.NewProcControl(stdin, stdout)
+	if err != nil {
+		cmd.Wait()
+		return loadtest.Result{}, err
+	}
+	ctl.Stop = cmd.Wait
+	res, err := loadtest.Run(ctl, cfg)
+	if cerr := ctl.Close(); err == nil {
+		err = cerr
+	}
+	return res, err
+}

@@ -1,0 +1,30 @@
+//go:build linux
+
+package main
+
+import (
+	"os"
+	"strconv"
+	"syscall"
+)
+
+// elevate raises the scheduling priority of every thread in this
+// process (nice -10), best effort: without the privilege the calls fail
+// and the harness simply runs at normal priority. On Linux the nice
+// value is a per-thread attribute, so setting it once for the process
+// would only cover the main thread — the runtime's other threads would
+// keep competing at normal weight. Threads spawned later inherit their
+// creator's nice, so renicing everything in /proc/self/task here covers
+// the rest of the process's lifetime.
+func elevate() {
+	tasks, err := os.ReadDir("/proc/self/task")
+	if err != nil {
+		_ = syscall.Setpriority(syscall.PRIO_PROCESS, 0, -10)
+		return
+	}
+	for _, t := range tasks {
+		if tid, err := strconv.Atoi(t.Name()); err == nil {
+			_ = syscall.Setpriority(syscall.PRIO_PROCESS, tid, -10)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package main
+
+// elevate is a no-op where process priorities are unavailable.
+func elevate() {}

@@ -117,6 +117,17 @@ func TestAdminEndpointAfterCycle(t *testing.T) {
 			t.Errorf("%s = 0 after a publish cycle, want nonzero", name)
 		}
 	}
+	// The encode-once fan-out instruments are registered from the start;
+	// counterValue fails the test if a family is missing from the
+	// exposition. Values stay zero here — no session is subscribed, so
+	// the cycle publishes to empty channels and skips encoding entirely.
+	for _, name := range []string{
+		"qsub_fanout_encodes_total",
+		"qsub_fanout_frames_shared_total",
+		"qsub_fanout_bytes_total",
+	} {
+		counterValue(t, body, name)
+	}
 
 	body, ctype = get("/statusz")
 	if ctype != "application/json" {
@@ -134,6 +145,15 @@ func TestAdminEndpointAfterCycle(t *testing.T) {
 	}
 	if st.Metrics == nil || st.Metrics.Counters["qsub_publish_messages_total"] == 0 {
 		t.Fatalf("statusz metrics snapshot missing publish counters: %+v", st.Metrics)
+	}
+	for _, name := range []string{
+		"qsub_fanout_encodes_total",
+		"qsub_fanout_frames_shared_total",
+		"qsub_fanout_bytes_total",
+	} {
+		if _, ok := st.Metrics.Counters[name]; !ok {
+			t.Errorf("statusz metrics snapshot missing %s", name)
+		}
 	}
 
 	if body, _ := get("/debug/pprof/cmdline"); body == "" {

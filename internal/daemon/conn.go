@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"bufio"
 	"fmt"
 	"net"
 
@@ -9,10 +10,19 @@ import (
 	"qsub/internal/wire"
 )
 
+// connReadBuffer sizes the per-connection bufio reader. The daemon's
+// coalesced flushes arrive as large segments; reading them through a
+// 32 KiB buffer turns many per-frame read syscalls into a few
+// buffer refills.
+const connReadBuffer = 32 << 10
+
 // Conn is the client side of a daemon session: it subscribes queries and
 // consumes the assignment and answer frames the daemon pushes.
 type Conn struct {
 	conn     net.Conn
+	br       *bufio.Reader
+	rbuf     []byte            // reused frame payload buffer (see wire.ReadFrameAppend)
+	ansMsg   multicast.Message // reused Answer event storage (see Next)
 	clientID int
 }
 
@@ -33,7 +43,7 @@ func NewConn(c net.Conn, clientID int) (*Conn, error) {
 		c.Close()
 		return nil, err
 	}
-	return &Conn{conn: c, clientID: clientID}, nil
+	return &Conn{conn: c, br: bufio.NewReaderSize(c, connReadBuffer), clientID: clientID}, nil
 }
 
 // ClientID returns the id this connection introduced itself with.
@@ -76,10 +86,18 @@ type Event struct {
 }
 
 // Next blocks for the next server-pushed event. It returns an error when
-// the connection ends or an unexpected frame arrives.
+// the connection ends or an unexpected frame arrives. Frames are read
+// through a buffered reader into one reused payload buffer, and the
+// Answer message is decoded into Conn-owned storage, so the steady-state
+// answer loop performs no per-frame allocations beyond the tuple slices
+// of non-empty messages (the Unmarshal functions copy every byte they
+// keep). Consequently an Event's Answer pointer is only valid until the
+// next call to Next; callers that retain the message past that must copy
+// it.
 func (c *Conn) Next() (Event, error) {
 	for {
-		ft, payload, err := wire.ReadFrame(c.conn)
+		ft, payload, err := wire.ReadFrameAppend(c.rbuf[:0], c.br)
+		c.rbuf = payload
 		if err != nil {
 			return Event{}, err
 		}
@@ -95,7 +113,8 @@ func (c *Conn) Next() (Event, error) {
 			if err != nil {
 				return Event{}, err
 			}
-			return Event{Answer: &m}, nil
+			c.ansMsg = m
+			return Event{Answer: &c.ansMsg}, nil
 		case wire.TypeError:
 			e, err := wire.UnmarshalError(payload)
 			if err != nil {

@@ -38,6 +38,13 @@ const (
 	DefaultSubscriberBuffer = 256
 )
 
+// maxFanoutBatch caps how many queued frames a forwarder coalesces into
+// one vectored flush. 256 frames stays well under typical iovec limits
+// (IOV_MAX is 1024; net.Buffers chunks internally anyway) while
+// amortizing the per-flush deadline and syscall cost ~256x for deep
+// queues.
+const maxFanoutBatch = 256
+
 // Daemon is the network front end of a subscription server. Plans are
 // cached across cycles and recomputed only when subscriptions changed or
 // the drift monitor reports that database churn invalidated the cost
@@ -81,6 +88,15 @@ type Daemon struct {
 	// queue is full (default multicast.Evict: the session is dropped and
 	// counted, and the publish cycle never blocks). Set before Serve.
 	SlowPolicy multicast.Policy
+	// PerSessionEncode disables the encode-once fabric and restores the
+	// pre-fabric delivery path: every forwarder re-marshals each message
+	// itself and writes it as its own frame, so a cycle at N subscribers
+	// costs N encodes and N frame-sized writes. Kept as the benchmark
+	// ablation/oracle for the shared-frame fast path; both paths put
+	// byte-identical frames on the wire. Set before the first cycle.
+	PerSessionEncode bool
+
+	encOnce sync.Once // installs the multicast encoder on the first cycle
 }
 
 // session is one connected TCP client.
@@ -242,10 +258,24 @@ func (d *Daemon) readFrame(conn net.Conn) (uint8, []byte, error) {
 	return ft, payload, err
 }
 
+// sessionSendBuffer is the socket send-buffer size requested for each
+// session connection. The fan-out path writes bursts of small frames;
+// each lands in the send queue as an skb whose true size the kernel
+// accounts at 1-2 KiB regardless of payload, and the skbs are only
+// freed on ACK — which a quiet receiver may delay tens of
+// milliseconds. The Linux default budget (tcp_wmem[1] = 16 KiB) fits
+// only a handful of such bursts, so a publish cycle's flush ends up
+// blocked on ACK clocking instead of CPU. A 256 KiB budget absorbs a
+// full cycle's burst per session; the kernel allocates it only as used.
+const sessionSendBuffer = 256 << 10
+
 // handle runs one client session: Hello, then subscription management
 // until Bye or disconnect.
 func (d *Daemon) handle(conn net.Conn) error {
 	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetWriteBuffer(sessionSendBuffer) // best effort
+	}
 	ft, payload, err := d.readFrame(conn)
 	if err != nil {
 		return err
@@ -417,6 +447,7 @@ func (d *Daemon) Replans() int {
 // delta mode, a pending client refresh request (gap recovery) turns this
 // cycle's publish into full answers.
 func (d *Daemon) RunCycle(delta bool) (server.Report, error) {
+	d.ensureEncoder()
 	d.planMu.Lock()
 	needPlan := d.cycle == nil || d.dirty || d.drift.ShouldReplan()
 	cy := d.cycle
@@ -504,6 +535,22 @@ func (d *Daemon) RunCycle(delta bool) (server.Report, error) {
 	return rep, err
 }
 
+// ensureEncoder installs the encode-once hook on the multicast network
+// before the first publish cycle (unless the per-session ablation is
+// selected): each published message is marshalled into a complete
+// TypeAnswer frame exactly once, and every forwarder writes that shared
+// immutable slice directly.
+func (d *Daemon) ensureEncoder() {
+	d.encOnce.Do(func() {
+		if d.PerSessionEncode {
+			return
+		}
+		d.net.SetEncoder(func(m multicast.Message) []byte {
+			return wire.AppendMessageFrame(nil, m)
+		})
+	})
+}
+
 // bind attaches the session to the channel, replacing any previous
 // attachment, and starts the forwarder goroutine that turns multicast
 // messages into TypeAnswer frames. The old forwarder is canceled and
@@ -521,7 +568,18 @@ func (d *Daemon) bind(sess *session, channel int) error {
 		<-oldDone
 	}
 
-	sub, err := d.net.SubscribeWith(channel, d.SubscriberBuffer, d.SlowPolicy)
+	// The shared-frame path consumes through a batch ring subscription
+	// (one queue swap per forwarder wakeup instead of one channel
+	// receive per frame); the per-session-encode ablation keeps the
+	// pre-fabric channel subscription so it measures the old delivery
+	// stack end to end.
+	var sub *multicast.Subscription
+	var err error
+	if d.PerSessionEncode {
+		sub, err = d.net.SubscribeWith(channel, d.SubscriberBuffer, d.SlowPolicy)
+	} else {
+		sub, err = d.net.SubscribeBatch(channel, d.SubscriberBuffer, d.SlowPolicy)
+	}
 	if err != nil {
 		return err
 	}
@@ -541,17 +599,9 @@ func (d *Daemon) bind(sess *session, channel int) error {
 	go func() {
 		defer d.wg.Done()
 		defer close(done)
-		// One encode buffer per forwarder: send writes the frame before
-		// returning, so the buffer can be reused for the next message
-		// without allocating in steady state.
-		var buf []byte
-		var werr error
-		for msg := range sub.C {
-			buf = wire.MarshalMessageAppend(buf[:0], msg)
-			if werr = sess.send(wire.TypeAnswer, buf); werr != nil {
-				sub.Cancel()
-				break
-			}
+		werr := d.forward(sess, sub)
+		if werr != nil {
+			sub.Cancel()
 		}
 		// An eviction can land while the forwarder is blocked in a
 		// write, so the evicted check must cover both exit paths.
@@ -573,6 +623,106 @@ func (d *Daemon) bind(sess *session, channel int) error {
 		}
 	}()
 	return nil
+}
+
+// forward pumps the subscription's multicast messages onto the session
+// socket until the subscription ends (cancel, eviction, shutdown) or a
+// write fails. It returns the write error, if any; the caller owns
+// cancellation and teardown.
+func (d *Daemon) forward(sess *session, sub *multicast.Subscription) error {
+	if d.PerSessionEncode {
+		return d.forwardPerSession(sess, sub)
+	}
+	return d.forwardShared(sess, sub)
+}
+
+// forwardPerSession is the ablation path: re-marshal every message in
+// this forwarder and write it as its own frame. One encode buffer per
+// forwarder — send finishes the write before returning, so the buffer is
+// reusable and steady state allocates nothing (but costs one encode and
+// one frame-sized write per subscriber per message).
+func (d *Daemon) forwardPerSession(sess *session, sub *multicast.Subscription) error {
+	var buf []byte
+	for msg := range sub.C {
+		buf = wire.MarshalMessageAppend(buf[:0], msg)
+		d.metrics.FanoutEncodes.Inc()
+		d.metrics.FanoutBytes.Add(uint64(len(buf)) + wire.HeaderSize)
+		if err := sess.send(wire.TypeAnswer, buf); err != nil {
+			return err
+		}
+		d.metrics.FanoutFramesWritten.Inc()
+		d.metrics.FanoutFlushes.Inc()
+	}
+	return nil
+}
+
+// forwardShared is the encode-once fast path: each delivered message
+// carries the shared immutable frame the publish cycle encoded, and the
+// forwarder writes that slice directly — no decode, no re-encode. The
+// subscription is a batch ring (see multicast.SubscribeBatch), so one
+// NextBatch call swaps out everything queued since the last wakeup;
+// frames are then coalesced (up to maxFanoutBatch) into vectored
+// flushes, so a deep queue costs one syscall per batch instead of two
+// per frame. The batch only ever holds aliases; frame bytes are never
+// copied or mutated here (net.Buffers consumes the slice headers, not
+// the shared arrays they point to).
+func (d *Daemon) forwardShared(sess *session, sub *multicast.Subscription) error {
+	batch := make(net.Buffers, 0, maxFanoutBatch)
+	var fbuf []byte // frames for messages published before the encoder was installed
+	for {
+		msgs, ok := sub.NextBatch()
+		for len(msgs) > 0 {
+			n := len(msgs)
+			if n > maxFanoutBatch {
+				n = maxFanoutBatch
+			}
+			batch, fbuf = batch[:0], fbuf[:0]
+			var batchBytes uint64
+			shared := 0
+			for _, msg := range msgs[:n] {
+				frame := msg.Frame
+				if frame == nil {
+					// Rare pre-encoder publish: frame it locally.
+					// Appending at the tail keeps frames already batched
+					// valid even when the buffer grows (they stay on the
+					// old backing array).
+					start := len(fbuf)
+					fbuf = wire.AppendMessageFrame(fbuf, msg)
+					frame = fbuf[start:]
+					d.metrics.FanoutEncodes.Inc()
+				} else {
+					shared++
+				}
+				batch = append(batch, frame)
+				batchBytes += uint64(len(frame))
+			}
+			msgs = msgs[n:]
+			d.metrics.FanoutFramesShared.Add(uint64(shared))
+			d.metrics.FanoutBytes.Add(batchBytes)
+			if err := sess.sendBatch(batch); err != nil {
+				return err
+			}
+			d.metrics.FanoutFramesWritten.Add(uint64(len(batch)))
+			d.metrics.FanoutFlushes.Inc()
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// sendBatch flushes a batch of ready-to-write frames to the session's
+// connection under a single write deadline. On TCP connections
+// net.Buffers turns the batch into one writev; other conns degrade to
+// sequential writes, still under one deadline and one lock acquisition.
+func (s *session) sendBatch(bufs net.Buffers) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.writeTimeout > 0 {
+		s.conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+	}
+	_, err := bufs.WriteTo(s.conn)
+	return err
 }
 
 // send writes one frame to the session's connection under the

@@ -1,0 +1,297 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"qsub/internal/cost"
+	"qsub/internal/geom"
+	"qsub/internal/multicast"
+	"qsub/internal/query"
+	"qsub/internal/relation"
+	"qsub/internal/server"
+	"qsub/internal/wire"
+)
+
+// fanoutCfg parameterizes one wire-equivalence scenario.
+type fanoutCfg struct {
+	rtree    bool
+	channels int
+	policy   multicast.Policy
+}
+
+// fanoutWorld is the outcome of one daemon run: the exact bytes each
+// client read off its socket, plus the fan-out counter values.
+type fanoutWorld struct {
+	streams  map[int][]byte
+	messages int // sum of Report.Messages across cycles
+	encodes  uint64
+	shared   uint64
+	delivers uint64
+	bytes    uint64
+}
+
+// runFanoutWorld builds a deterministic daemon world (seeded relation,
+// sequentially registered subscriptions, fixed solver seed), runs one
+// full cycle plus three delta cycles with seeded churn, shuts down
+// gracefully, and returns the raw per-client wire streams. Two calls
+// with the same cfg differ only in the perSession ablation flag, so
+// their streams must be byte-identical.
+func runFanoutWorld(t *testing.T, cfg fanoutCfg, perSession bool) fanoutWorld {
+	t.Helper()
+	bounds := geom.R(0, 0, 1000, 1000)
+	var rel *relation.Relation
+	var err error
+	if cfg.rtree {
+		rel, err = relation.NewRTree(bounds, 8)
+	} else {
+		rel, err = relation.New(bounds, 16, 16)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1500; i++ {
+		rel.Insert(geom.Pt(rng.Float64()*1000, rng.Float64()*1000), []byte("payload"))
+	}
+	d, err := New(rel, cfg.channels, server.Config{
+		Model: cost.Model{KM: 500, KT: 1, KU: 1, K6: 5},
+		Seed:  42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.PerSessionEncode = perSession
+	d.SlowPolicy = cfg.policy
+	// Buffers are deep enough that no policy ever actually drops or
+	// evicts: the policies' enqueue paths run, but the streams stay
+	// deterministic and comparable.
+	d.SubscriberBuffer = 4096
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.Serve(context.Background(), ln)
+	defer func() {
+		d.Close()
+		ln.Close()
+	}()
+
+	// Register clients strictly sequentially so the subscription
+	// registry — and therefore the plan — is identical across worlds.
+	const clients = 6
+	conns := make([]net.Conn, clients)
+	for i := 0; i < clients; i++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conns[i] = conn
+		if err := wire.WriteFrame(conn, wire.TypeHello,
+			wire.MarshalHello(wire.Hello{ClientID: i + 1})); err != nil {
+			t.Fatal(err)
+		}
+		x, y := rng.Float64()*800, rng.Float64()*800
+		w := 60 + rng.Float64()*180
+		payload, err := wire.MarshalSubscribe(wire.Subscribe{
+			Query: query.Range(query.ID(i+1), geom.R(x, y, x+w, y+w))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wire.WriteFrame(conn, wire.TypeSubscribe, payload); err != nil {
+			t.Fatal(err)
+		}
+		waitForSubscriptions(t, d, i+1)
+	}
+
+	// Capture each client's raw byte stream until the daemon's graceful
+	// Bye (or close).
+	out := fanoutWorld{streams: make(map[int][]byte)}
+	var mu sync.Mutex
+	var readers sync.WaitGroup
+	for i, conn := range conns {
+		readers.Add(1)
+		go func(id int, conn net.Conn) {
+			defer readers.Done()
+			var raw bytes.Buffer
+			tee := io.TeeReader(conn, &raw)
+			for {
+				ft, _, err := wire.ReadFrame(tee)
+				if err != nil || ft == wire.TypeBye {
+					break
+				}
+			}
+			mu.Lock()
+			out.streams[id] = append([]byte(nil), raw.Bytes()...)
+			mu.Unlock()
+		}(i+1, conn)
+	}
+
+	cycle := func(delta bool) {
+		rep, err := d.RunCycle(delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.messages += rep.Messages
+	}
+	cycle(false)
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 60; i++ {
+			rel.Insert(geom.Pt(rng.Float64()*1000, rng.Float64()*1000), []byte("payload"))
+		}
+		all := rel.All()
+		for i := 0; i < 15; i++ {
+			rel.Delete(all[rng.Intn(len(all))].ID)
+		}
+		cycle(true)
+	}
+	d.Shutdown()
+	readers.Wait()
+
+	cat := d.Metrics()
+	out.encodes = cat.FanoutEncodes.Load()
+	out.shared = cat.FanoutFramesShared.Load()
+	out.delivers = cat.FanoutDeliveries.Load()
+	out.bytes = cat.FanoutBytes.Load()
+	return out
+}
+
+// TestFanoutWireEquivalence pins the tentpole's correctness half: the
+// shared-frame fast path and the per-session-encode ablation put
+// byte-identical streams on every client socket, across grid and R-tree
+// relations, single and multi channel, and all three slow-consumer
+// policies — while the fan-out counters confirm the fast path really
+// encoded once per message (vs once per delivery in the ablation).
+func TestFanoutWireEquivalence(t *testing.T) {
+	scenarios := []fanoutCfg{
+		{rtree: false, channels: 1, policy: multicast.Block},
+		{rtree: true, channels: 1, policy: multicast.Evict},
+		{rtree: false, channels: 3, policy: multicast.Block},
+		{rtree: false, channels: 3, policy: multicast.DropNewest},
+		{rtree: true, channels: 3, policy: multicast.Evict},
+	}
+	for _, cfg := range scenarios {
+		name := fmt.Sprintf("rtree=%v/channels=%d/policy=%d", cfg.rtree, cfg.channels, cfg.policy)
+		t.Run(name, func(t *testing.T) {
+			sharedW := runFanoutWorld(t, cfg, false)
+			ablation := runFanoutWorld(t, cfg, true)
+
+			if len(sharedW.streams) != len(ablation.streams) {
+				t.Fatalf("client count differs: %d vs %d", len(sharedW.streams), len(ablation.streams))
+			}
+			for id, got := range sharedW.streams {
+				want, ok := ablation.streams[id]
+				if !ok {
+					t.Fatalf("client %d missing from ablation world", id)
+				}
+				if !bytes.Equal(got, want) {
+					i := 0
+					for i < len(got) && i < len(want) && got[i] == want[i] {
+						i++
+					}
+					t.Fatalf("client %d streams differ at byte %d (shared %d bytes, ablation %d bytes)",
+						id, i, len(got), len(want))
+				}
+				if len(got) == 0 {
+					t.Fatalf("client %d received an empty stream", id)
+				}
+			}
+
+			if sharedW.messages != ablation.messages {
+				t.Fatalf("cycles published %d vs %d messages", sharedW.messages, ablation.messages)
+			}
+			// Fast path: exactly one encode per published message, every
+			// delivery reused a shared frame. Ablation: one encode per
+			// delivery, nothing shared.
+			if sharedW.encodes != uint64(sharedW.messages) {
+				t.Errorf("shared world encoded %d frames for %d messages, want one encode per message",
+					sharedW.encodes, sharedW.messages)
+			}
+			if sharedW.shared != sharedW.delivers {
+				t.Errorf("shared world: %d shared-frame writes for %d deliveries", sharedW.shared, sharedW.delivers)
+			}
+			if ablation.encodes != ablation.delivers {
+				t.Errorf("ablation world encoded %d frames for %d deliveries, want one per delivery",
+					ablation.encodes, ablation.delivers)
+			}
+			if ablation.shared != 0 {
+				t.Errorf("ablation world reported %d shared frames, want 0", ablation.shared)
+			}
+			if sharedW.bytes != ablation.bytes {
+				t.Errorf("fan-out bytes differ: shared %d, ablation %d", sharedW.bytes, ablation.bytes)
+			}
+			if sharedW.delivers > uint64(sharedW.messages) && sharedW.encodes >= ablation.encodes {
+				t.Errorf("fan-out with %d deliveries should encode fewer frames than the ablation (%d vs %d)",
+					sharedW.delivers, sharedW.encodes, ablation.encodes)
+			}
+		})
+	}
+}
+
+// TestFanoutSharedFrameAliasingRace drives the real forwarder/writev
+// path under -race with tiny buffers and the evict policy, so shared
+// frames are concurrently written to sockets, drained by cancels and
+// dropped by evictions while publish cycles keep encoding new ones. Any
+// post-publish mutation of a shared frame is a read/write race with a
+// forwarder and fails under the race detector; corrupted frames also
+// fail to parse on the client side.
+func TestFanoutSharedFrameAliasingRace(t *testing.T) {
+	d, addr := startDaemon(t, 2)
+	d.SubscriberBuffer = 1
+	d.SlowPolicy = multicast.Evict
+
+	const clients = 12
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		conn, err := Dial(addr, 100+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := conn.Subscribe(query.Range(query.ID(100+i), geom.R(float64(i*50), 0, float64(i*50+400), 700))); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(conn *Conn, slow bool) {
+			defer wg.Done()
+			for {
+				ev, err := conn.Next()
+				if err != nil {
+					return
+				}
+				if ev.Answer != nil && slow {
+					// A slow consumer: let the delivery queue back up so
+					// evictions race in-flight shared frames.
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}(conn, i%3 == 0)
+	}
+	waitForSubscriptions(t, d, clients)
+
+	rng := rand.New(rand.NewSource(3))
+	rel := d.Server().Relation()
+	for cycle := 0; cycle < 6; cycle++ {
+		for i := 0; i < 40; i++ {
+			rel.Insert(geom.Pt(rng.Float64()*1000, rng.Float64()*1000), []byte("obj"))
+		}
+		if _, err := d.RunCycle(cycle > 0); err != nil {
+			// The stress is allowed to evict every client (buffer depth
+			// 1); a cycle with nothing left to plan ends the run early.
+			break
+		}
+	}
+	d.Shutdown()
+	wg.Wait()
+	if d.Metrics().FanoutEncodes.Load() == 0 {
+		t.Fatal("stress run never encoded a shared frame")
+	}
+}

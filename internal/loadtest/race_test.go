@@ -1,0 +1,8 @@
+//go:build race
+
+package loadtest
+
+// raceEnabled reports that this binary was built with -race, which
+// slows the per-frame delivery path by an order of magnitude; the
+// harness tests scale their session counts down accordingly.
+const raceEnabled = true

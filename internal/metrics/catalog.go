@@ -62,10 +62,19 @@ type Catalog struct {
 	DeltaBatchTuples *Histogram
 	DeltaDeletions   *Counter
 
-	// multicast fan-out.
-	FanoutDeliveries *Counter
-	FanoutDropped    *Counter
-	FanoutEvictions  *Counter
+	// multicast fan-out. Encode-once accounting: Encodes counts frames
+	// actually marshalled, FramesShared counts per-session deliveries
+	// that reused an already-encoded frame, Bytes counts frame bytes
+	// handed to session sockets. A healthy shared-frame fabric keeps
+	// Encodes ≈ messages while FramesShared ≈ messages × subscribers.
+	FanoutDeliveries    *Counter
+	FanoutDropped       *Counter
+	FanoutEvictions     *Counter
+	FanoutEncodes       *Counter
+	FanoutFramesShared  *Counter
+	FanoutBytes         *Counter
+	FanoutFramesWritten *Counter
+	FanoutFlushes       *Counter
 
 	// daemon session lifecycle.
 	SessionsEvicted    *Counter
@@ -118,9 +127,14 @@ func NewCatalog(channels int) *Catalog {
 		DeltaBatchTuples: r.Histogram("qsub_delta_batch_tuples", "inserted tuples per extracted delta batch", SizeBuckets),
 		DeltaDeletions:   r.Counter("qsub_delta_deletions_total", "deleted tuple ids carried by delta batches"),
 
-		FanoutDeliveries: r.Counter("qsub_fanout_deliveries_total", "multicast message deliveries to subscribed sessions"),
-		FanoutDropped:    r.Counter("qsub_fanout_dropped_total", "multicast deliveries dropped (loss injection or full buffer under the drop policy)"),
-		FanoutEvictions:  r.Counter("qsub_fanout_evictions_total", "subscriptions evicted because their delivery buffer was full at publish time"),
+		FanoutDeliveries:   r.Counter("qsub_fanout_deliveries_total", "multicast message deliveries to subscribed sessions"),
+		FanoutDropped:      r.Counter("qsub_fanout_dropped_total", "multicast deliveries dropped (loss injection or full buffer under the drop policy)"),
+		FanoutEvictions:    r.Counter("qsub_fanout_evictions_total", "subscriptions evicted because their delivery buffer was full at publish time"),
+		FanoutEncodes:      r.Counter("qsub_fanout_encodes_total", "wire frames encoded for fan-out (once per message per cycle on the shared-frame path)"),
+		FanoutFramesShared: r.Counter("qsub_fanout_frames_shared_total", "per-session frame writes that reused a shared encode-once frame"),
+		FanoutBytes:        r.Counter("qsub_fanout_bytes_total", "frame bytes written to session sockets by the fan-out path"),
+		FanoutFramesWritten: r.Counter("qsub_fanout_frames_written_total", "answer frames handed to the kernel by session forwarders (deliveries lag this only by in-flight queues)"),
+		FanoutFlushes:       r.Counter("qsub_fanout_flushes_total", "socket flushes by session forwarders; frames-written over this is the achieved write coalescing factor"),
 
 		SessionsEvicted:    r.Counter("qsub_sessions_evicted_total", "daemon sessions dropped as slow consumers"),
 		SessionsSuperseded: r.Counter("qsub_sessions_superseded_total", "daemon sessions replaced by a reconnect with the same client id"),

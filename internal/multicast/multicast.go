@@ -61,6 +61,15 @@ type Message struct {
 	// fall inside this merged query's footprint; clients drop them from
 	// their accumulated answers (§11 dynamic scenario).
 	Removed []uint64
+	// Frame is the encode-once wire frame for this message: an opaque,
+	// ready-to-write byte slice produced by the network's Encoder (see
+	// SetEncoder) exactly once per Publish, after Seq assignment. Every
+	// subscriber of the channel receives the same backing array, so the
+	// slice is strictly read-only once Publish has run — forwarders,
+	// eviction drains and late readers all alias it. Nil when no encoder
+	// is installed (in-process simulation, or the per-session-encode
+	// ablation), in which case delivery layers encode per session.
+	Frame []byte
 }
 
 // PayloadBytes returns the transmission size of the tuple payload plus
@@ -200,6 +209,11 @@ type Network struct {
 	mDeliveries *metrics.Counter
 	mDropped    *metrics.Counter
 	mEvicted    *metrics.Counter
+	mEncodes    *metrics.Counter
+
+	// encoder, when set, turns each published message into its immutable
+	// wire frame exactly once per Publish (see SetEncoder).
+	encoder func(Message) []byte
 
 	// onEvict, when set, observes each slow-consumer eviction after the
 	// subscription has been canceled (see SetEvictHandler).
@@ -254,13 +268,27 @@ func (n *Network) Channels() int { return n.channels }
 // SetMetrics attaches fan-out counters to the network: deliveries
 // counts message copies handed to subscribers, dropped counts copies
 // suppressed by loss injection or the DropNewest policy, evicted counts
-// slow-consumer evictions. Any may be nil. Call before concurrent
-// publishing.
-func (n *Network) SetMetrics(deliveries, dropped, evicted *metrics.Counter) {
+// slow-consumer evictions, encodes counts wire encodes performed by the
+// encode-once hook (see SetEncoder; the per-session ablation counts its
+// own encodes into the same instrument). Any may be nil. Call before
+// concurrent publishing.
+func (n *Network) SetMetrics(deliveries, dropped, evicted, encodes *metrics.Counter) {
 	n.mDeliveries = deliveries
 	n.mDropped = dropped
 	n.mEvicted = evicted
+	n.mEncodes = encodes
 }
+
+// SetEncoder installs the encode-once hook: Publish calls enc exactly
+// once per message — after sequence assignment, before fan-out — and
+// attaches the returned frame to the message every subscriber receives,
+// so N subscribers share one encoding instead of re-marshaling N times.
+// The returned slice must be freshly allocated per call (subscribers may
+// alias it indefinitely) and is treated as immutable from that point on.
+// enc must be safe for concurrent calls; publishes on channels with no
+// subscribers skip encoding entirely. Call before concurrent publishing;
+// nil uninstalls the hook.
+func (n *Network) SetEncoder(enc func(Message) []byte) { n.encoder = enc }
 
 // SetEvictHandler registers a callback observing slow-consumer
 // evictions. It is called from inside Publish, once per evicted
@@ -278,15 +306,21 @@ const (
 )
 
 // Subscription is one client's attachment to a channel. Messages arrive
-// on C; Cancel detaches and closes C.
+// on C; Cancel detaches and closes C. Subscriptions created with
+// SubscribeBatch have no C: their messages arrive in batches through
+// NextBatch, which replaces the per-delivery channel send with a
+// mutex-guarded ring append — the high-fan-out delivery path.
 type Subscription struct {
-	// C delivers the channel's messages in publish order.
+	// C delivers the channel's messages in publish order. Nil for batch
+	// subscriptions (see SubscribeBatch / NextBatch).
 	C <-chan Message
 
 	net     *Network
 	channel int
 	policy  Policy
 	ch      chan Message
+	// ring replaces ch as the delivery queue for batch subscriptions.
+	ring *msgRing
 	// done closes when Cancel runs, releasing publishers blocked in a
 	// backpressure send before ch itself is closed.
 	done chan struct{}
@@ -296,12 +330,68 @@ type Subscription struct {
 	// under mu with closed false, or registered in inflight while closed
 	// was false. Cancel flips closed under mu, wakes blocked senders via
 	// done, waits out inflight, and only then closes ch — so a send on a
-	// closed channel is impossible by construction.
+	// closed channel is impossible by construction. (Batch subscriptions
+	// gate through the ring's own mutex instead.)
 	mu       sync.Mutex
 	closed   bool
 	inflight sync.WaitGroup
 
 	evicted atomic.Bool
+}
+
+// msgRing is the delivery queue of a batch subscription: a bounded
+// double-buffered slice queue. Producers append one message at a time
+// under mu; the single consumer swaps the whole queue out per NextBatch
+// call, so steady state moves messages without per-delivery channel
+// operations, allocations or copying. The wake and space channels carry
+// at most one token each: wake parks the consumer when the queue is
+// empty, space parks Block-policy publishers when it is full.
+type msgRing struct {
+	mu     sync.Mutex
+	buf    []Message
+	spare  []Message // previous batch, reused on the next swap
+	cap    int
+	closed bool
+	wake   chan struct{}
+	space  chan struct{}
+}
+
+// push appends one message under the ring's send gate. The wake token is
+// only sent on the empty→non-empty transition: a consumer parks only
+// after observing an empty queue under mu, so whichever producer makes
+// it non-empty again is guaranteed to leave a token behind.
+func (r *msgRing) push(msg Message) sendResult {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return sendGone
+	}
+	if len(r.buf) >= r.cap {
+		r.mu.Unlock()
+		return sendFull
+	}
+	r.buf = append(r.buf, msg)
+	first := len(r.buf) == 1
+	r.mu.Unlock()
+	if first {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+	}
+	return sendOK
+}
+
+// close marks the ring finished and wakes a parked consumer so it can
+// observe the closed state. Buffered messages stay readable.
+func (r *msgRing) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
 }
 
 // Channel returns the channel index the subscription listens on.
@@ -319,6 +409,11 @@ func (s *Subscription) Evicted() bool { return s.evicted.Load() }
 func (s *Subscription) Cancel() {
 	s.once.Do(func() {
 		s.net.detach(s)
+		if s.ring != nil {
+			s.ring.close()
+			close(s.done) // release publishers blocked waiting for space
+			return
+		}
 		s.mu.Lock()
 		s.closed = true
 		s.mu.Unlock()
@@ -328,8 +423,48 @@ func (s *Subscription) Cancel() {
 	})
 }
 
+// NextBatch returns the next batch of messages delivered to a batch
+// subscription (see SubscribeBatch), blocking until at least one message
+// is queued or the subscription ends. It swaps the whole delivery queue
+// out in one mutex-guarded exchange, so a deep queue costs one wakeup
+// regardless of depth. The returned slice is owned by the subscription
+// and valid only until the next NextBatch call. When ok is false the
+// subscription is finished (Cancel, eviction or network Close) and the
+// returned slice holds its final messages, possibly none. NextBatch
+// must only be called from a single consumer goroutine; it panics on
+// channel-mode subscriptions.
+func (s *Subscription) NextBatch() (batch []Message, ok bool) {
+	r := s.ring
+	for {
+		r.mu.Lock()
+		if len(r.buf) > 0 {
+			out := r.buf
+			r.buf = r.spare[:0]
+			r.spare = out
+			closed := r.closed
+			r.mu.Unlock()
+			// The queue just went empty: hand the space token to at most
+			// one publisher parked in a backpressure wait.
+			select {
+			case r.space <- struct{}{}:
+			default:
+			}
+			return out, !closed
+		}
+		if r.closed {
+			r.mu.Unlock()
+			return nil, false
+		}
+		r.mu.Unlock()
+		<-r.wake
+	}
+}
+
 // trySend attempts a non-blocking delivery under the send gate.
 func (s *Subscription) trySend(msg Message) sendResult {
+	if s.ring != nil {
+		return s.ring.push(msg)
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -346,9 +481,24 @@ func (s *Subscription) trySend(msg Message) sendResult {
 }
 
 // blockingSend waits for buffer space (backpressure); cancellation
-// releases it. The send itself happens outside mu but is covered by
-// inflight, which Cancel drains before closing ch.
+// releases it. For channel subscriptions the send itself happens outside
+// mu but is covered by inflight, which Cancel drains before closing ch.
+// For batch subscriptions it loops on the ring's space token — the
+// consumer releases one token per drain — re-attempting the gated push
+// each time, so the send-on-closed guarantee holds without a WaitGroup.
 func (s *Subscription) blockingSend(msg Message) sendResult {
+	if s.ring != nil {
+		for {
+			select {
+			case <-s.ring.space:
+			case <-s.done:
+				return sendGone
+			}
+			if res := s.ring.push(msg); res != sendFull {
+				return res
+			}
+		}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -421,6 +571,49 @@ func (n *Network) SubscribeWith(channel, buffer int, policy Policy) (*Subscripti
 	return sub, nil
 }
 
+// SubscribeBatch attaches a batch-mode listener: messages are consumed
+// through NextBatch instead of C (which is nil), and each delivery is a
+// mutex-guarded ring append rather than a channel send. This is the
+// high-fan-out path the daemon's shared-frame forwarders use — with
+// thousands of subscribers per publish, the ring cuts the per-delivery
+// cost to a fraction of a channel operation and lets the consumer drain
+// arbitrarily deep queues in one swap. Policies, eviction, loss
+// injection and the crash-proof cancellation guarantees behave exactly
+// as with SubscribeWith. buffer is clamped to at least 1 (a batch
+// subscription has no rendezvous mode).
+func (n *Network) SubscribeBatch(channel, buffer int, policy Policy) (*Subscription, error) {
+	if channel < 0 || channel >= n.channels {
+		return nil, fmt.Errorf("multicast: channel %d outside [0,%d)", channel, n.channels)
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, fmt.Errorf("multicast: network closed")
+	}
+	sub := &Subscription{
+		net:     n,
+		channel: channel,
+		policy:  policy,
+		ring: &msgRing{
+			buf:   make([]Message, 0, buffer),
+			spare: make([]Message, 0, buffer),
+			cap:   buffer,
+			wake:  make(chan struct{}, 1),
+			space: make(chan struct{}, 1),
+		},
+		done: make(chan struct{}),
+	}
+	subs := n.subs[channel]
+	next := make([]*Subscription, 0, len(subs)+1)
+	next = append(next, subs...)
+	next = append(next, sub)
+	n.subs[channel] = next
+	return sub, nil
+}
+
 // Publish places the message on its channel: one payload charge on the
 // wire, one delivery per current subscriber. The message's Seq field is
 // assigned by the network. Publish blocks only on Block-policy
@@ -448,6 +641,14 @@ func (n *Network) Publish(msg Message) error {
 		}
 	}
 	n.mu.Unlock()
+
+	if n.encoder != nil && len(targets) > 0 {
+		// Encode once per publish: every subscriber below receives this
+		// same immutable frame. Encoding happens after seq assignment
+		// (the frame carries Seq) and outside the network lock.
+		msg.Frame = n.encoder(msg)
+		n.mEncodes.Inc()
+	}
 
 	payload := uint64(msg.PayloadBytes())
 	n.messagesPublished.Add(1)
@@ -484,6 +685,191 @@ func (n *Network) Publish(msg Message) error {
 		n.payloadBytesDelivered.Add(payload)
 		delivered++
 	}
+	n.evictAll(evicted)
+	if delivered > 0 {
+		n.mDeliveries.Add(delivered)
+	}
+	if droppedCount > 0 {
+		n.mDropped.Add(droppedCount)
+	}
+	return nil
+}
+
+// PublishBatch publishes a run of messages that all travel on the same
+// channel. It is observably equivalent to calling Publish on each
+// message in order, but amortizes the per-subscriber synchronization
+// across the run: sequence numbers are assigned under one network lock,
+// and each batch-mode subscriber's ring is locked once per stretch of
+// available space instead of once per message. With thousands of
+// subscribers and a hundred-odd messages per channel per cycle, the
+// per-delivery mutex round-trip is the dominant publish-side cost this
+// removes. Channel-mode subscribers receive the run as ordinary
+// per-message sends.
+func (n *Network) PublishBatch(msgs []Message) error {
+	switch len(msgs) {
+	case 0:
+		return nil
+	case 1:
+		return n.Publish(msgs[0])
+	}
+	ch := msgs[0].Channel
+	if ch < 0 || ch >= n.channels {
+		return fmt.Errorf("multicast: channel %d outside [0,%d)", ch, n.channels)
+	}
+	for i := range msgs {
+		if msgs[i].Channel != ch {
+			return fmt.Errorf("multicast: PublishBatch run spans channels %d and %d", ch, msgs[i].Channel)
+		}
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return fmt.Errorf("multicast: network closed")
+	}
+	for i := range msgs {
+		n.seqs[ch]++
+		msgs[i].Seq = n.seqs[ch]
+	}
+	targets := n.subs[ch]
+	// drop is the loss matrix, one contiguous row per target.
+	var drop []bool
+	if n.lossRate > 0 && len(targets) > 0 {
+		drop = make([]bool, len(targets)*len(msgs))
+		for i := range drop {
+			drop[i] = n.rng.Float64() < n.lossRate
+		}
+	}
+	n.mu.Unlock()
+
+	payloads := make([]uint64, len(msgs))
+	var sentPayload, sentHeader uint64
+	for i := range msgs {
+		p := uint64(msgs[i].PayloadBytes())
+		payloads[i] = p
+		sentPayload += p
+		sentHeader += uint64(msgs[i].HeaderBytes())
+	}
+	if n.encoder != nil && len(targets) > 0 {
+		for i := range msgs {
+			msgs[i].Frame = n.encoder(msgs[i])
+		}
+		n.mEncodes.Add(uint64(len(msgs)))
+	}
+	n.messagesPublished.Add(uint64(len(msgs)))
+	n.payloadBytesSent.Add(sentPayload)
+	n.headerBytesSent.Add(sentHeader)
+	n.perChannel[ch].messages.Add(uint64(len(msgs)))
+	n.perChannel[ch].payload.Add(sentPayload)
+
+	var delivered, deliveredBytes, lossDrops, overflow uint64
+	var evicted []*Subscription
+	for ti, sub := range targets {
+		var dropRow []bool
+		if drop != nil {
+			dropRow = drop[ti*len(msgs) : (ti+1)*len(msgs)]
+		}
+		if sub.ring == nil {
+			// Channel-mode subscriber: per-message sends, as in Publish. A
+			// canceled or evicted subscriber ends its run early — the
+			// remaining messages could not land anyway.
+			for i := range msgs {
+				if dropRow != nil && dropRow[i] {
+					lossDrops++
+					continue
+				}
+				res := sub.trySend(msgs[i])
+				if res == sendFull {
+					switch sub.policy {
+					case Block:
+						res = sub.blockingSend(msgs[i])
+					case DropNewest:
+						overflow++
+						continue
+					case Evict:
+						evicted = append(evicted, sub)
+						res = sendGone
+					}
+				}
+				if res != sendOK {
+					break
+				}
+				delivered++
+				deliveredBytes += payloads[i]
+			}
+			continue
+		}
+		// Batch-mode subscriber: append the whole run under as few ring
+		// lock acquisitions as buffer space allows.
+		r := sub.ring
+		i := 0
+	run:
+		for i < len(msgs) {
+			r.mu.Lock()
+			if r.closed {
+				r.mu.Unlock()
+				break
+			}
+			wasEmpty := len(r.buf) == 0
+			for i < len(msgs) {
+				if dropRow != nil && dropRow[i] {
+					lossDrops++ // loss drops need no buffer space
+					i++
+					continue
+				}
+				if len(r.buf) >= r.cap {
+					break
+				}
+				r.buf = append(r.buf, msgs[i])
+				delivered++
+				deliveredBytes += payloads[i]
+				i++
+			}
+			nonEmpty := len(r.buf) > 0
+			r.mu.Unlock()
+			if wasEmpty && nonEmpty {
+				select {
+				case r.wake <- struct{}{}:
+				default:
+				}
+			}
+			if i >= len(msgs) {
+				break
+			}
+			// Ring full mid-run: apply the slow-consumer policy, then
+			// re-acquire and continue the run.
+			switch sub.policy {
+			case Block:
+				select {
+				case <-r.space:
+				case <-sub.done:
+					break run // canceled while waiting
+				}
+			case DropNewest:
+				overflow++
+				i++ // this message is dropped; later ones re-attempt
+			case Evict:
+				evicted = append(evicted, sub)
+				break run
+			}
+		}
+	}
+	n.deliveries.Add(delivered)
+	n.payloadBytesDelivered.Add(deliveredBytes)
+	n.dropped.Add(lossDrops)
+	n.overflowDrops.Add(overflow)
+	n.evictAll(evicted)
+	if delivered > 0 {
+		n.mDeliveries.Add(delivered)
+	}
+	if dc := lossDrops + overflow; dc > 0 {
+		n.mDropped.Add(dc)
+	}
+	return nil
+}
+
+// evictAll cancels subscribers whose buffers were full under the Evict
+// policy, counting and reporting each eviction.
+func (n *Network) evictAll(evicted []*Subscription) {
 	for _, sub := range evicted {
 		sub.evicted.Store(true) // before Cancel: consumers see why C closed
 		sub.Cancel()
@@ -493,13 +879,6 @@ func (n *Network) Publish(msg Message) error {
 			n.onEvict(sub)
 		}
 	}
-	if delivered > 0 {
-		n.mDeliveries.Add(delivered)
-	}
-	if droppedCount > 0 {
-		n.mDropped.Add(droppedCount)
-	}
-	return nil
 }
 
 // Stats returns a snapshot of the traffic counters.

@@ -109,7 +109,7 @@ func New(rel *relation.Relation, net *multicast.Network, cfg Config) (*Server, e
 	}
 	if cat := cfg.Metrics; cat != nil {
 		rel.SetDeltaMetrics(cat.DeltaBatchTuples, cat.DeltaDeletions)
-		net.SetMetrics(cat.FanoutDeliveries, cat.FanoutDropped, cat.FanoutEvictions)
+		net.SetMetrics(cat.FanoutDeliveries, cat.FanoutDropped, cat.FanoutEvictions, cat.FanoutEncodes)
 	}
 	return &Server{
 		rel:  rel,
@@ -136,6 +136,20 @@ func (s *Server) Subscribe(clientID int, qs ...query.Query) error {
 		s.subs[clientID] = append(s.subs[clientID], q)
 	}
 	return nil
+}
+
+// SubscriptionCount returns the number of registered (client, query)
+// subscriptions. It is a cheap readiness probe — load harnesses that
+// register thousands of subscriptions over the network poll it instead
+// of re-planning.
+func (s *Server) SubscriptionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, qs := range s.subs {
+		n += len(qs)
+	}
+	return n
 }
 
 // Unsubscribe removes one query subscription; it reports whether the
@@ -514,6 +528,11 @@ type pubScratch struct {
 	results [][]relation.Tuple
 	removed [][]uint64
 	regions []geom.Region
+	// msgs stages the round's messages so they publish as channel runs
+	// via PublishBatch. The Message values hold escaping pointers, but
+	// ring pushes and channel sends copy the value, so the outer array is
+	// reusable once its entries are zeroed on put.
+	msgs []multicast.Message
 }
 
 var pubScratchPool = sync.Pool{New: func() any { return new(pubScratch) }}
@@ -524,10 +543,12 @@ func getPubScratch(n int) *pubScratch {
 		sc.results = make([][]relation.Tuple, n)
 		sc.removed = make([][]uint64, n)
 		sc.regions = make([]geom.Region, n)
+		sc.msgs = make([]multicast.Message, n)
 	}
 	sc.results = sc.results[:n]
 	sc.removed = sc.removed[:n]
 	sc.regions = sc.regions[:n]
+	sc.msgs = sc.msgs[:n]
 	return sc
 }
 
@@ -536,6 +557,7 @@ func putPubScratch(sc *pubScratch) {
 		sc.results[i] = nil
 		sc.removed[i] = nil
 		sc.regions[i] = nil
+		sc.msgs[i] = multicast.Message{}
 	}
 	pubScratchPool.Put(sc)
 }
@@ -636,19 +658,34 @@ func (s *Server) publish(cy *Cycle, sinceID uint64, delta bool) (Report, error) 
 		}
 		chMsgs, chTuples, chBytes = 0, 0, 0
 	}
+	// Stage the round's messages, then publish each channel's run with
+	// one PublishBatch call: msgPlans are channel-ordered, so a run is a
+	// contiguous slice, and batching lets the network amortize sequence
+	// assignment and per-subscriber locking across the whole run instead
+	// of paying them per message.
+	msgs := sc.msgs
 	for idx := range plans {
-		mp := &plans[idx]
-		msg := multicast.Message{
-			Channel: mp.ch,
+		msgs[idx] = multicast.Message{
+			Channel: plans[idx].ch,
 			Tuples:  results[idx],
-			Header:  mp.header,
+			Header:  plans[idx].header,
 			Delta:   delta,
 			Removed: removed[idx],
 		}
-		if err := s.net.Publish(msg); err != nil {
-			return rep, fmt.Errorf("server: publish on channel %d: %w", mp.ch, err)
+	}
+	for start := 0; start < len(msgs); {
+		end := start + 1
+		for end < len(msgs) && msgs[end].Channel == msgs[start].Channel {
+			end++
 		}
-		pb := msg.PayloadBytes()
+		if err := s.net.PublishBatch(msgs[start:end]); err != nil {
+			return rep, fmt.Errorf("server: publish on channel %d: %w", msgs[start].Channel, err)
+		}
+		start = end
+	}
+	for idx := range plans {
+		mp := &plans[idx]
+		pb := msgs[idx].PayloadBytes()
 		rep.Messages++
 		rep.PayloadBytes += pb
 		rep.Tuples += len(results[idx])

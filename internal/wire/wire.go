@@ -59,6 +59,10 @@ const (
 // protect against corrupt streams.
 const MaxFrameSize = 64 << 20
 
+// HeaderSize is the fixed frame header length: a big-endian uint32
+// payload length followed by one type byte (§3.1 framing).
+const HeaderSize = 5
+
 // ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
 
@@ -105,21 +109,106 @@ func WriteFrame(w io.Writer, frameType uint8, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one frame from r.
+// ReadFrame reads one frame from r into a fresh payload slice.
 func ReadFrame(r io.Reader) (frameType uint8, payload []byte, err error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+	return ReadFrameAppend(nil, r)
+}
+
+// ReadFrameAppend reads one frame from r, placing the payload into buf's
+// backing array when capacity allows. The returned payload aliases buf,
+// so steady-state readers can reuse one per-connection buffer —
+// `ft, payload, err := ReadFrameAppend(buf[:0], r); buf = payload` — and
+// read without allocating, provided the previous payload has been fully
+// decoded before the buffer is reused (the Unmarshal functions copy every
+// byte they keep, so decoding before the next read is always safe).
+func ReadFrameAppend(buf []byte, r io.Reader) (frameType uint8, payload []byte, err error) {
+	// The header is read into the reusable buffer too: a stack array
+	// would escape through the io.Reader parameter and cost one
+	// allocation per frame.
+	if cap(buf) < 5 {
+		buf = make([]byte, 0, 512)
+	}
+	hdr := buf[:5]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, buf, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
+	frameType = hdr[4]
 	if n > MaxFrameSize {
-		return 0, nil, ErrFrameTooLarge
+		return 0, buf, ErrFrameTooLarge
 	}
-	payload = make([]byte, n)
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
+		return 0, buf, err
 	}
-	return hdr[4], payload, nil
+	return frameType, payload, nil
+}
+
+// --- encode-once frames ----------------------------------------------------
+
+// A Frame is one complete, ready-to-write wire frame: the 5-byte
+// length+type header followed by the payload, in one contiguous byte
+// slice. Frames exist so a publish cycle can encode each message exactly
+// once and fan the identical bytes out to every subscriber.
+//
+// Aliasing contract: a Frame handed to the delivery layer is immutable.
+// Forwarders, eviction drains and refresh republishes may all hold the
+// same backing array concurrently; none of them may write to it, and the
+// encoder must never reuse the buffer for a later message. The -race
+// stress tests pin this.
+type Frame struct {
+	buf []byte
+}
+
+// NewMessageFrame encodes a multicast answer message into a fresh,
+// immutable TypeAnswer frame.
+func NewMessageFrame(m multicast.Message) Frame {
+	return Frame{buf: AppendMessageFrame(nil, m)}
+}
+
+// AppendMessageFrame appends a complete TypeAnswer frame — 5-byte header
+// plus MarshalMessageAppend payload — to buf and returns the extended
+// slice. Like MarshalMessageAppend it reuses buf's backing array when
+// capacity allows, so per-session (ablation) encoders stay
+// allocation-free in steady state.
+func AppendMessageFrame(buf []byte, m multicast.Message) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, TypeAnswer)
+	buf = MarshalMessageAppend(buf, m)
+	binary.BigEndian.PutUint32(buf[start:start+4], uint32(len(buf)-start-5))
+	return buf
+}
+
+// Bytes returns the frame's full wire bytes (header and payload). The
+// slice is shared, not a copy: callers must treat it as read-only.
+func (f Frame) Bytes() []byte { return f.buf }
+
+// Len returns the total size of the frame on the wire.
+func (f Frame) Len() int { return len(f.buf) }
+
+// Type returns the frame type byte; 0 for an empty frame.
+func (f Frame) Type() uint8 {
+	if len(f.buf) < 5 {
+		return 0
+	}
+	return f.buf[4]
+}
+
+// Payload returns the frame's payload bytes (read-only, shared).
+func (f Frame) Payload() []byte {
+	if len(f.buf) < 5 {
+		return nil
+	}
+	return f.buf[5:]
+}
+
+// WriteTo writes the frame to w in one call, satisfying io.WriterTo.
+func (f Frame) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(f.buf)
+	return int64(n), err
 }
 
 // --- primitive encoders ---------------------------------------------------
