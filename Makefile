@@ -20,12 +20,15 @@ check:
 	$(GO) test -race ./...
 	$(GO) run ./cmd/qsubsim -exp sharding -shards 16 -aggregate
 
-# Focused vet + race leg for the sharded planning pipeline: fast enough
-# for a pre-push hook, strict enough to catch data races in the
-# per-shard worker pool.
+# Focused vet + race leg for the sharded planning pipeline plus the
+# neighbor-pruned/anytime/incremental solver paths: fast enough for a
+# pre-push hook, strict enough to catch data races in the per-shard
+# worker pool and the budget's atomic step accounting.
 vet:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/shard
+	$(GO) test -race -run 'Neighbor|Budget|Incremental|Replan' \
+		./internal/core ./internal/chanalloc ./internal/server
 
 build:
 	$(GO) build ./...
@@ -91,6 +94,10 @@ bench-save:
 		-bench 'BenchmarkShardPlan|BenchmarkAggregate' \
 		-benchmem -benchtime 1x ./internal/shard \
 		| $(GO) run ./cmd/benchjson -o BENCH_sharding.json
+	$(GO) test -run - \
+		-bench 'BenchmarkSolverScaleFull|BenchmarkSolverScalePruned|BenchmarkSolverScaleBudget|BenchmarkReplanChurn' \
+		-benchmem -benchtime 2x . \
+		| $(GO) run ./cmd/benchjson -o BENCH_solvers_scale.json
 	{ $(GO) run ./cmd/qsubload -sessions 2000 -channels 16 -cycles 3 -mode both; \
 	  $(GO) run ./cmd/qsubload -sessions 10000 -channels 64 -cycles 3 -timeout 10m -mode both; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_fanout.json
@@ -102,12 +109,14 @@ bench-compare:
 	cp BENCH_chanalloc.json /tmp/BENCH_chanalloc.baseline.json
 	cp BENCH_publish.json /tmp/BENCH_publish.baseline.json
 	cp BENCH_sharding.json /tmp/BENCH_sharding.baseline.json
+	cp BENCH_solvers_scale.json /tmp/BENCH_solvers_scale.baseline.json
 	cp BENCH_fanout.json /tmp/BENCH_fanout.baseline.json
 	$(MAKE) bench-save
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_solvers.baseline.json BENCH_solvers.json
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_chanalloc.baseline.json BENCH_chanalloc.json
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_publish.baseline.json BENCH_publish.json
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_sharding.baseline.json BENCH_sharding.json
+	$(GO) run ./cmd/benchjson compare /tmp/BENCH_solvers_scale.baseline.json BENCH_solvers_scale.json
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_fanout.baseline.json BENCH_fanout.json
 
 # Regenerates every table and figure (see EXPERIMENTS.md).

@@ -51,6 +51,8 @@ func main() {
 		admin     = flag.String("admin", "", "serve the admin endpoint (/metrics, /healthz, /statusz, /debug/pprof) on this address")
 		shardBits = flag.Int("shards", 0, "plan with the sharded pipeline using this many Morton prefix bits (2^bits shards; 0 with -aggregate=false disables sharding)")
 		aggregate = flag.Bool("aggregate", false, "collapse covered/near-duplicate subscriptions before solving (sharded pipeline)")
+		budget    = flag.Duration("budget", 0, "anytime planning budget per cycle; the solvers return their best-so-far plan at the deadline (0 = unlimited)")
+		neighbors = flag.Int("neighbors", 0, "prune merge candidates to each query's k nearest Z-order neighbors (0 = exact full table)")
 
 		perSession = flag.Bool("per-session-encode", false, "disable the encode-once fan-out fabric and re-encode every message per receiving session (ablation/debug)")
 		readIdle   = flag.Duration("read-idle", 5*time.Minute, "drop a session that sends no frame for this long (0 disables)")
@@ -90,8 +92,10 @@ func main() {
 	}
 
 	d, err := daemon.New(rel, *channels, server.Config{
-		Model:    cost.Model{KM: *km, KT: *kt, KU: *ku, K6: *k6},
-		Strategy: chanalloc.BestOfBoth,
+		Model:      cost.Model{KM: *km, KT: *kt, KU: *ku, K6: *k6},
+		Strategy:   chanalloc.BestOfBoth,
+		PlanBudget: *budget,
+		Neighbors:  *neighbors,
 		Sharding: shard.Config{
 			Enabled:   *shardBits > 0 || *aggregate,
 			ShardBits: *shardBits,

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"qsub/internal/cost"
 	"qsub/internal/experiment"
@@ -55,6 +56,8 @@ func main() {
 		dumpMet  = flag.Bool("metrics", false, "dump solver instrumentation (Prometheus text format) after the run")
 		shards   = flag.Int("shards", 0, "shard count for the sharding experiment (0 = sweep 1, 4, 16; rounded up to a power of two)")
 		aggr     = flag.Bool("aggregate", true, "enable subscription aggregation in the sharding experiment")
+		budget   = flag.Duration("budget", 0, "anytime planning budget per sharding cell; best-so-far plan at the deadline (0 = unlimited)")
+		neigh    = flag.Int("neighbors", 0, "prune merge candidates to each query's k nearest Z-order neighbors (0 = exact full table)")
 	)
 	flag.StringVar(&csvDir, "csv", "", "also write raw series as CSV files into this directory")
 	flag.Parse()
@@ -83,7 +86,7 @@ func main() {
 	case "scaling":
 		runScaling()
 	case "sharding":
-		runSharding(*shards, *aggr, *parallel)
+		runSharding(*shards, *aggr, *parallel, *budget, *neigh)
 	case "replan":
 		runReplan()
 	case "interval":
@@ -103,7 +106,7 @@ func main() {
 		fmt.Println()
 		runScaling()
 		fmt.Println()
-		runSharding(*shards, *aggr, *parallel)
+		runSharding(*shards, *aggr, *parallel, *budget, *neigh)
 		fmt.Println()
 		runReplan()
 		fmt.Println()
@@ -211,10 +214,12 @@ func runScaling() {
 	fmt.Print(experiment.FormatScalingTable(rows))
 }
 
-func runSharding(shards int, aggregate bool, parallel int) {
+func runSharding(shards int, aggregate bool, parallel int, budget time.Duration, neighbors int) {
 	cfg := experiment.DefaultShardingConfig()
 	cfg.Aggregate = aggregate
 	cfg.Parallelism = parallel
+	cfg.Budget = budget
+	cfg.Neighbors = neighbors
 	if shards > 0 {
 		bits := 0
 		for 1<<bits < shards {

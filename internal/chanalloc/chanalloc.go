@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"qsub/internal/core"
+	"qsub/internal/geom"
 	"qsub/internal/metrics"
 )
 
@@ -70,6 +71,14 @@ type Problem struct {
 	// identical at any setting for a fixed seed, as with
 	// core.DirectedSearch.
 	Parallelism int
+	// Neighbors, when positive, restricts the Fig 14 greedy's candidate
+	// pairs to each client's ±Neighbors window on a Z-order curve over
+	// client centroids (the mean of Inst.Centers over the client's
+	// queries). Requires Inst.Centers; without centers the full pair
+	// table is used. At Neighbors ≥ len(Clients) the window covers every
+	// pair, reproducing the exact greedy. When Merger is nil, the
+	// default per-channel PairMerge inherits the value too.
+	Neighbors int
 	// Restarts is the number of MultiStart restarts; zero means the
 	// default of 8.
 	Restarts int
@@ -89,6 +98,34 @@ type Problem struct {
 
 	engOnce sync.Once
 	eng     *engine
+
+	niOnce   sync.Once
+	clientNI *core.NeighborIndex
+}
+
+// clientIndex returns the Z-order neighbor index over client centroids
+// (mean of the instance centers of each client's queries), built lazily
+// on first use. It returns nil — disabling pruning — when Neighbors is
+// off, the instance has no centers, or there are no clients.
+func (p *Problem) clientIndex() *core.NeighborIndex {
+	if p.Neighbors <= 0 || len(p.Inst.Centers) != p.Inst.N || len(p.Clients) == 0 {
+		return nil
+	}
+	p.niOnce.Do(func() {
+		centers := make([]geom.Point, len(p.Clients))
+		for c, qs := range p.Clients {
+			var sum geom.Point
+			for _, q := range qs {
+				sum.X += p.Inst.Centers[q].X
+				sum.Y += p.Inst.Centers[q].Y
+			}
+			if len(qs) > 0 {
+				centers[c] = geom.Point{X: sum.X / float64(len(qs)), Y: sum.Y / float64(len(qs))}
+			}
+		}
+		p.clientNI = core.NewNeighborIndex(centers)
+	})
+	return p.clientNI
 }
 
 // Validate reports whether the problem is well-formed.
@@ -114,7 +151,7 @@ func (p *Problem) Validate() error {
 
 func (p *Problem) merger() core.Algorithm {
 	if p.Merger == nil {
-		return core.PairMerge{}
+		return core.PairMerge{Neighbors: p.Neighbors}
 	}
 	return p.Merger
 }
@@ -168,14 +205,24 @@ func ChannelCost(p *Problem, clients []int) (float64, core.Plan) {
 	return c, global
 }
 
-// subInstance restricts the merging instance to the given queries.
+// subInstance restricts the merging instance to the given queries,
+// carrying the budget and (remapped) centers through so the per-channel
+// merger stays anytime- and pruning-capable.
 func subInstance(inst *core.Instance, members []int) *core.Instance {
 	sub := &core.Instance{
 		N:       len(members),
 		Model:   inst.Model,
+		Budget:  inst.Budget,
 		Metrics: inst.Metrics,
 	}
 	sub.Sizer = remapSizer{inner: inst, members: members}
+	if inst.Centers != nil {
+		centers := make([]geom.Point, len(members))
+		for i, q := range members {
+			centers[i] = inst.Centers[q]
+		}
+		sub.Centers = centers
+	}
 	if inst.Overlap != nil {
 		sub.Overlap = func(i, j int) float64 { return inst.Overlap(members[i], members[j]) }
 	}

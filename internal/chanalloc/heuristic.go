@@ -14,6 +14,7 @@ package chanalloc
 // bit-identical allocations.
 
 import (
+	"math"
 	"runtime"
 	"sync"
 )
@@ -85,6 +86,12 @@ func idSiftDown(h []idEntry, i int) {
 // rescan; the TableScan ablation keeps the original loop. Unlike the
 // merge heap of PairMerge, non-positive gains are kept: Fig 14 pairs
 // clients until the table is empty regardless of sign.
+//
+// With Problem.Neighbors set (and instance centers available) the pair
+// table is pruned to each client's ±k Z-order window over client
+// centroids — O(n·k) gain probes instead of O(n²) — and the leftover
+// round-robin pass guarantees a complete allocation regardless of how
+// much the window (or an exhausted budget) cut away.
 func InitialDistribution(p *Problem) Allocation {
 	return initialDistributionCtx(p.newCtx())
 }
@@ -105,13 +112,51 @@ func initialDistributionCtx(ctx *evalCtx) Allocation {
 		pair[0] = c
 		single[c] = ctx.groupCostClients(pair[:1])
 	}
-	h := make([]idEntry, 0, n*(n-1)/2)
-	for a := 0; a < n; a++ {
-		pair[0] = a
-		for b := a + 1; b < n; b++ {
-			pair[1] = b
-			joint := ctx.groupCostClients(pair[:2])
-			h = append(h, idEntry{gain: single[a] + single[b] - joint, a: a, b: b})
+	budget := p.Inst.Budget
+	var h []idEntry
+	if ni := p.clientIndex(); ni != nil {
+		// Neighbor-pruned seeding. The window relation is symmetric, so
+		// keeping only b > a covers each unordered pair once; at
+		// k ≥ n it enumerates exactly the full table.
+		k := p.Neighbors
+		h = make([]idEntry, 0, n*min(k, n))
+	seedPruned:
+		for a := 0; a < n; a++ {
+			pair[0] = a
+			pos := ni.Rank(a)
+			lo, hi := pos-k, pos+k
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > n-1 {
+				hi = n - 1
+			}
+			for rank := lo; rank <= hi; rank++ {
+				b := ni.At(rank)
+				if b <= a {
+					continue
+				}
+				if !budget.Step(1) {
+					break seedPruned
+				}
+				pair[1] = b
+				joint := ctx.groupCostClients(pair[:2])
+				h = append(h, idEntry{gain: single[a] + single[b] - joint, a: a, b: b})
+			}
+		}
+	} else {
+		h = make([]idEntry, 0, n*(n-1)/2)
+	seedFull:
+		for a := 0; a < n; a++ {
+			pair[0] = a
+			for b := a + 1; b < n; b++ {
+				if !budget.Step(1) {
+					break seedFull
+				}
+				pair[1] = b
+				joint := ctx.groupCostClients(pair[:2])
+				h = append(h, idEntry{gain: single[a] + single[b] - joint, a: a, b: b})
+			}
 		}
 	}
 	idHeapInit(h)
@@ -230,6 +275,12 @@ func hillClimbCtx(ctx *evalCtx, alloc Allocation) Allocation {
 		costs[ch] = ctx.groupCostClients(groups[ch])
 	}
 	for {
+		// One climb iteration probes O(clients·channels) moves; charge
+		// the budget proportionally and return the current (complete)
+		// allocation when it trips.
+		if !p.Inst.Budget.Step(int64(len(alloc))) {
+			return alloc
+		}
 		bestGain := 1e-9
 		bestClient, bestTo := -1, -1
 		var bestFromCost, bestToCost float64
@@ -345,6 +396,14 @@ func MultiStart(p *Problem, seed int64) (Allocation, float64, error) {
 	allocs := make([]Allocation, t)
 	costs := make([]float64, t)
 	runOne := func(run int) {
+		// Anytime mode: once the budget trips, later restarts are
+		// skipped (nil allocation, +Inf cost — never the winner).
+		// Restart 0 always runs, so a complete allocation is
+		// guaranteed even when the budget expires immediately.
+		if run > 0 && p.Inst.Budget.Exhausted() {
+			costs[run] = math.Inf(1)
+			return
+		}
 		ctx := p.newCtx()
 		var start Allocation
 		if run == 0 {

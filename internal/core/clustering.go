@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"qsub/internal/cost"
+	"qsub/internal/geom"
 )
 
 // Clustering is the divide-and-conquer algorithm of §6.3. It computes a
@@ -190,6 +191,7 @@ func subInstance(inst *Instance, members []int) *Instance {
 	sub := &Instance{
 		N:       len(members),
 		Model:   inst.Model,
+		Budget:  inst.Budget,
 		Metrics: inst.Metrics,
 		Sizer: cost.Func{
 			SizeFn: func(i int) float64 { return inst.Sizer.Size(members[i]) },
@@ -201,6 +203,13 @@ func subInstance(inst *Instance, members []int) *Instance {
 				return inst.Sizer.MergedSize(mapped)
 			},
 		},
+	}
+	if inst.Centers != nil {
+		centers := make([]geom.Point, len(members))
+		for i, q := range members {
+			centers[i] = inst.Centers[q]
+		}
+		sub.Centers = centers
 	}
 	if inst.Overlap != nil {
 		sub.Overlap = func(i, j int) float64 { return inst.Overlap(members[i], members[j]) }

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"qsub/internal/cost"
+	"qsub/internal/geom"
 	"qsub/internal/metrics"
 )
 
@@ -140,6 +141,15 @@ type Instance struct {
 	Model   cost.Model
 	Sizer   cost.Sizer
 	Overlap func(i, j int) float64
+	// Centers optionally gives a representative point per query (the
+	// bounding-rect center for geographic workloads). Solvers with a
+	// neighbor-pruned candidate stage use it to build a Z-order index;
+	// nil disables pruning and those solvers fall back to exhaustive
+	// candidate enumeration.
+	Centers []geom.Point
+	// Budget optionally bounds solver work (anytime mode). Nil means
+	// unlimited; see Budget for the exhaustion contract.
+	Budget *Budget
 	// Metrics optionally instruments the solver engines; nil runs
 	// uninstrumented.
 	Metrics *SolverMetrics
@@ -165,6 +175,8 @@ func memoized(inst *Instance) *Instance {
 		Model:   inst.Model,
 		Sizer:   cost.NewMemo(inst.Sizer, inst.N),
 		Overlap: inst.Overlap,
+		Centers: inst.Centers,
+		Budget:  inst.Budget,
 		Metrics: inst.Metrics,
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -64,6 +65,14 @@ func (ds DirectedSearch) Solve(inst *Instance) Plan {
 	plans := make([]Plan, t)
 	costs := make([]float64, t)
 	runOne := func(run int) {
+		// Anytime mode: once the budget trips, later restarts are
+		// skipped entirely (nil plan, +Inf cost — never the winner).
+		// Restart 0 always runs, so a valid plan is guaranteed even
+		// when the budget expires immediately.
+		if run > 0 && inst.Budget.Exhausted() {
+			costs[run] = math.Inf(1)
+			return
+		}
 		var start Plan
 		if run == 0 {
 			start = Singletons(inst.N)
@@ -150,6 +159,12 @@ func hillClimb(inst *Instance, plan Plan) Plan {
 	var scratch []int
 	single := make([]int, 1)
 	for {
+		// One climb iteration scans O(len(plan)²) candidate moves;
+		// charge the budget proportionally and return the current
+		// (valid) partition when it trips — best-so-far semantics.
+		if !inst.Budget.Step(int64(len(plan))) {
+			return plan
+		}
 		type move struct {
 			gain    float64
 			mergeI  int

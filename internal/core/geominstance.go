@@ -20,10 +20,19 @@ import (
 // argument. The pool also keeps the instance safe for the concurrent
 // solvers (parallel DirectedSearch restarts and Clustering components).
 func NewGeomInstance(model cost.Model, qs []query.Query, proc query.MergeProcedure, est relation.Estimator) *Instance {
+	// Representative centers (bounding-rect midpoints) feed the Z-order
+	// neighbor index of the pruned solvers; they cost one pass here and
+	// nothing when pruning is off.
+	centers := make([]geom.Point, len(qs))
+	for i, q := range qs {
+		b := q.Region.BoundingRect()
+		centers[i] = geom.Point{X: (b.MinX + b.MaxX) / 2, Y: (b.MinY + b.MaxY) / 2}
+	}
 	return &Instance{
-		N:     len(qs),
-		Model: model,
-		Sizer: geomSizer(qs, proc, est),
+		N:       len(qs),
+		Model:   model,
+		Sizer:   geomSizer(qs, proc, est),
+		Centers: centers,
 		Overlap: func(i, j int) float64 {
 			ri, iok := qs[i].Region.(geom.Rect)
 			rj, jok := qs[j].Region.(geom.Rect)

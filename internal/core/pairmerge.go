@@ -24,9 +24,21 @@ type QSet = cost.QSet
 // Table scan, and probe unions run through a reused scratch buffer
 // instead of allocating a fresh []int per delta.
 //
+// Setting Neighbors > 0 on an instance with Centers switches to the
+// neighbor-pruned engine: the heap is seeded only with pairs inside each
+// query's ±k Z-order window (see NeighborIndex), and a merge regenerates
+// candidates from the merged set's neighborhood instead of against every
+// survivor. Candidate generation drops from O(n²) to O(n·k); at k ≥ n
+// the window covers every pair and the engine produces bit-identical
+// plans to the full heap, which the equivalence tests pin.
+//
 // Two ablation engines are kept for the benchmarks: TableScan is the
 // previous implementation (Profit Table with a full scan per iteration),
 // NaiveRecompute additionally recomputes every delta on every iteration.
+//
+// All engines honor Instance.Budget: when it trips they stop generating
+// candidates, finish nothing speculative, and return the (always valid)
+// partition reached so far.
 type PairMerge struct {
 	// NaiveRecompute recomputes every pair delta on every iteration
 	// instead of maintaining the Profit Table (ablation).
@@ -39,6 +51,11 @@ type PairMerge struct {
 	// benchmarks name the configuration under test, and it wins when set
 	// alongside an ablation flag.
 	HeapProfit bool
+	// Neighbors, when positive, restricts candidate pairs to each
+	// query's ±Neighbors Z-order window. Requires Instance.Centers;
+	// without centers the full heap engine runs. 0 means exact
+	// (unpruned). Ignored by the table ablation engines.
+	Neighbors int
 }
 
 // Name returns "pair-merge".
@@ -51,6 +68,14 @@ func (pm PairMerge) Solve(inst *Instance) Plan {
 	}
 	if (pm.NaiveRecompute || pm.TableScan) && !pm.HeapProfit {
 		return pm.solveTable(inst)
+	}
+	// The pruned engine deliberately takes the instance's sizer as-is
+	// (no forced memo wrap): wrapping only one engine could let a
+	// bitset-keyed cache return a value computed from a different
+	// member ordering than the raw path would use, breaking the
+	// bit-identity pin against solveHeap for order-sensitive sizers.
+	if pm.Neighbors > 0 && len(inst.Centers) == inst.N {
+		return pm.solveNeighbors(inst)
 	}
 	return pm.solveHeap(inst)
 }
@@ -170,10 +195,17 @@ func (pm PairMerge) solveHeap(inst *Instance) Plan {
 
 	// Seed the heap with every positive pair delta. Non-positive deltas
 	// can never become the best move (entries are immutable), so they are
-	// dropped here instead of occupying heap slots.
+	// dropped here instead of occupying heap slots. A budget trip leaves
+	// a partial seed: the merge loop then works only the pairs probed so
+	// far, which still yields a valid (if less merged) partition.
+	budget := inst.Budget
 	h := make([]pmEntry, 0, n*(n-1)/2)
+seed:
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
+			if !budget.Step(1) {
+				break seed
+			}
 			if d, rm := probe(i, j); d > 0 {
 				h = append(h, pmEntry{d: d, rm: rm, a: i, b: j})
 			}
@@ -183,6 +215,9 @@ func (pm PairMerge) solveHeap(inst *Instance) Plan {
 
 	var pops, merges uint64
 	for aliveCount > 1 && len(h) > 0 {
+		if !budget.Step(1) {
+			break
+		}
 		e := pmHeapPop(&h)
 		pops++
 		if !alive[e.a] || !alive[e.b] {
@@ -202,8 +237,162 @@ func (pm PairMerge) solveHeap(inst *Instance) Plan {
 			if !alive[other] {
 				continue
 			}
+			if !budget.Step(1) {
+				break
+			}
 			if d, rm := probe(other, id); d > 0 {
 				pmHeapPush(&h, pmEntry{d: d, rm: rm, a: other, b: id})
+			}
+		}
+	}
+
+	if sm := inst.Metrics; sm != nil {
+		sm.HeapPops.Add(pops)
+		sm.Merges.Add(merges)
+	}
+
+	plan := make(Plan, 0, aliveCount)
+	for id, ok := range alive {
+		if ok {
+			plan = append(plan, sets[id].qs.AppendIndices(make([]int, 0, sets[id].count)))
+		}
+	}
+	return plan.Normalize()
+}
+
+// solveNeighbors is the neighbor-pruned engine: identical merge loop to
+// solveHeap, but candidate pairs come from the ±k Z-order windows of a
+// NeighborIndex over Instance.Centers instead of full enumeration —
+// O(n·k) seed probes and O(|merged|·k) regeneration probes per merge
+// instead of O(n²) and O(n).
+//
+// Equivalence at k ≥ n: the window relation covers every pair, probes
+// run in the same smaller-id-first orientation (floating-point sums are
+// order-sensitive), and pmLess is a strict total order over the unique
+// entries, so the heap's pop sequence depends only on the multiset of
+// pushes before each pop — which matches the full engine's exactly.
+// At k < n the engine explores a subset of the full engine's candidates,
+// trading a few percent of plan quality for the quadratic term.
+func (pm PairMerge) solveNeighbors(inst *Instance) Plan {
+	n := inst.N
+	k := pm.Neighbors
+	ni := NewNeighborIndex(inst.Centers)
+	budget := inst.Budget
+
+	sets := make([]hSet, n, 2*n)
+	for i := 0; i < n; i++ {
+		qs := cost.NewQSet(n)
+		qs.Add(i)
+		sets[i] = hSet{qs: qs, count: 1, merged: inst.Sizer.Size(i)}
+	}
+	alive := make([]bool, n, 2*n)
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveCount := n
+
+	// setOf maps each query to the id of the live set containing it, so
+	// a merged set's neighborhood — the sets owning queries near its
+	// members — resolves in O(window) without scanning all survivors.
+	setOf := make([]int, n)
+	for i := range setOf {
+		setOf[i] = i
+	}
+
+	scratch := make([]int, 0, n)
+	probe := func(a, b int) (float64, float64) {
+		sa, sb := &sets[a], &sets[b]
+		scratch = sa.qs.AppendIndices(scratch[:0])
+		scratch = sb.qs.AppendIndices(scratch)
+		rm := inst.Sizer.MergedSize(scratch)
+		d := cost.PairDelta(inst.Model, sa.count, sa.merged, sb.count, sb.merged, rm)
+		return d, rm
+	}
+
+	// Seed with each query's ±k curve window. The window relation is
+	// symmetric, so keeping only j > i covers each unordered pair once;
+	// at k ≥ n this enumerates exactly the full engine's i<j pairs.
+	h := make([]pmEntry, 0, n*min(k, n))
+seed:
+	for i := 0; i < n; i++ {
+		p := ni.pos[i]
+		lo, hi := p-k, p+k
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for rank := lo; rank <= hi; rank++ {
+			j := ni.order[rank]
+			if j <= i {
+				continue
+			}
+			if !budget.Step(1) {
+				break seed
+			}
+			if d, rm := probe(i, j); d > 0 {
+				h = append(h, pmEntry{d: d, rm: rm, a: i, b: j})
+			}
+		}
+	}
+	pmHeapInit(h)
+
+	var pops, merges uint64
+	// mark/epoch dedupe neighbor sets per merge without clearing: a set
+	// id is probed at most once per epoch. Ids stay below 2n−1.
+	mark := make([]int, 2*n)
+	epoch := 0
+	members := make([]int, 0, n)
+	for aliveCount > 1 && len(h) > 0 {
+		if !budget.Step(1) {
+			break
+		}
+		e := pmHeapPop(&h)
+		pops++
+		if !alive[e.a] || !alive[e.b] {
+			continue // lazy invalidation: a retired endpoint
+		}
+		merges++
+		qs := sets[e.a].qs.Clone()
+		qs.Or(sets[e.b].qs)
+		id := len(sets)
+		sets = append(sets, hSet{qs: qs, count: sets[e.a].count + sets[e.b].count, merged: e.rm})
+		alive[e.a], alive[e.b] = false, false
+		alive = append(alive, true)
+		aliveCount--
+		members = qs.AppendIndices(members[:0])
+		for _, q := range members {
+			setOf[q] = id
+		}
+		// Regenerate candidates lazily from the merged set's
+		// neighborhood: every live set owning a query within ±k of any
+		// member. At k ≥ n that is every survivor, as in solveHeap.
+		epoch++
+		for _, q := range members {
+			p := ni.pos[q]
+			lo, hi := p-k, p+k
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > n-1 {
+				hi = n - 1
+			}
+			for rank := lo; rank <= hi; rank++ {
+				sid := setOf[ni.order[rank]]
+				if sid == id || mark[sid] == epoch {
+					continue
+				}
+				mark[sid] = epoch
+				if !budget.Step(1) {
+					break
+				}
+				if d, rm := probe(sid, id); d > 0 {
+					pmHeapPush(&h, pmEntry{d: d, rm: rm, a: sid, b: id})
+				}
+			}
+			if budget.Exhausted() {
+				break
 			}
 		}
 	}
@@ -263,6 +452,11 @@ func (pm PairMerge) solveTable(inst *Instance) Plan {
 	}
 
 	for len(sets) > 1 {
+		// One iteration scans up to len(sets)² pairs; charge the budget
+		// proportionally so deadlines trip between iterations.
+		if !inst.Budget.Step(int64(len(sets))) {
+			break
+		}
 		bestI, bestJ := -1, -1
 		bestD := 0.0
 		var bestUnion []int

@@ -52,12 +52,23 @@ type Memo struct {
 	sizes  []float64 // singleton sizes, cached eagerly
 	shards [memoShards]memoShard
 
+	// pool recycles the multi-word path's per-call scratch (bitset +
+	// key bytes) so cache hits on large instances allocate nothing.
+	pool sync.Pool
+
 	// Optional nil-safe instrumentation (see SetMetrics). hits/misses
 	// track cache effectiveness; contended counts lock acquisitions
 	// that could not be taken immediately.
 	hits      *metrics.Counter
 	misses    *metrics.Counter
 	contended *metrics.Counter
+}
+
+// largeScratch is the pooled working state of mergedSizeLarge: the
+// subset bitset and its byte-encoded key.
+type largeScratch struct {
+	qs  QSet
+	buf []byte
 }
 
 // memoShard is one lock-striped segment of the cache. small is used when
@@ -164,38 +175,43 @@ func (m *Memo) MergedSize(set []int) float64 {
 }
 
 // mergedSizeLarge is the multi-word (n > 64) path: the subset's bitset
-// words become a string key so the map can hash them.
+// words become a string key so the map can hash them. The bitset and
+// key bytes come from a pool and the lookup uses the compiler's
+// non-allocating map[string(bytes)] form, so a cache hit — the common
+// case in the solver hot loops — allocates nothing; the key string is
+// materialized only when a miss must be stored.
 func (m *Memo) mergedSizeLarge(set []int) float64 {
-	qs := make(QSet, m.words)
-	for _, q := range set {
-		qs.Add(q)
+	sc, _ := m.pool.Get().(*largeScratch)
+	if sc == nil {
+		sc = &largeScratch{qs: make(QSet, m.words), buf: make([]byte, 8*m.words)}
+	} else {
+		sc.qs.Reset()
 	}
-	key := qsetKey(qs)
-	sh := &m.shards[qs.Hash()&(memoShards-1)]
+	for _, q := range set {
+		sc.qs.Add(q)
+	}
+	for wi, w := range sc.qs {
+		for b := 0; b < 8; b++ {
+			sc.buf[8*wi+b] = byte(w >> uint(8*b))
+		}
+	}
+	sh := &m.shards[sc.qs.Hash()&(memoShards-1)]
 	m.rlock(sh)
-	v, ok := sh.large[key]
+	v, ok := sh.large[string(sc.buf)]
 	sh.mu.RUnlock()
 	if ok {
 		m.hits.Inc()
+		m.pool.Put(sc)
 		return v
 	}
 	m.misses.Inc()
 	v = m.inner.MergedSize(set)
+	key := string(sc.buf)
+	m.pool.Put(sc)
 	m.lock(sh)
 	sh.large[key] = v
 	sh.mu.Unlock()
 	return v
-}
-
-// qsetKey encodes the bitset words as a map-hashable string.
-func qsetKey(qs QSet) string {
-	buf := make([]byte, 8*len(qs))
-	for wi, w := range qs {
-		for b := 0; b < 8; b++ {
-			buf[8*wi+b] = byte(w >> uint(8*b))
-		}
-	}
-	return string(buf)
 }
 
 var (

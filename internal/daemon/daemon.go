@@ -449,14 +449,25 @@ func (d *Daemon) Replans() int {
 func (d *Daemon) RunCycle(delta bool) (server.Report, error) {
 	d.ensureEncoder()
 	d.planMu.Lock()
-	needPlan := d.cycle == nil || d.dirty || d.drift.ShouldReplan()
+	drifted := d.drift.ShouldReplan()
+	needPlan := d.cycle == nil || d.dirty || drifted
 	cy := d.cycle
 	forceFull := d.refreshForce
 	d.refreshForce = false
 	d.planMu.Unlock()
 
 	if needPlan {
-		fresh, err := d.srv.Plan()
+		var fresh *server.Cycle
+		var err error
+		if cy != nil && !drifted {
+			// Subscription churn with still-valid size estimates: splice
+			// the changed queries into the live plan (§11 incremental
+			// replan). Only drift — stale estimates — escalates to a
+			// full re-solve.
+			fresh, err = d.srv.Replan(cy)
+		} else {
+			fresh, err = d.srv.Plan()
+		}
 		if err != nil {
 			return server.Report{}, err
 		}

@@ -43,7 +43,14 @@ type ShardingConfig struct {
 	Aggregate bool
 	// Parallelism bounds the shard worker pool (0 = GOMAXPROCS).
 	Parallelism int
-	Seed        int64
+	// Budget caps each cell's planning wall time (anytime mode); the
+	// pipeline returns its best-so-far plan at the deadline. Zero means
+	// unlimited.
+	Budget time.Duration
+	// Neighbors prunes merge candidates to each query's k nearest
+	// Z-order neighbors (0 = the exact full candidate table).
+	Neighbors int
+	Seed      int64
 }
 
 // DefaultShardingConfig returns the EXPERIMENTS.md grid: n ∈ {1k, 10k,
@@ -90,8 +97,9 @@ func RunSharding(cfg ShardingConfig) ([]ShardingRow, error) {
 				Channels:    1,
 				Model:       cfg.Model,
 				Estimator:   est,
-				Algorithm:   core.PairMerge{},
+				Algorithm:   core.PairMerge{Neighbors: cfg.Neighbors},
 				Parallelism: cfg.Parallelism,
+				Budget:      core.NewBudget(cfg.Budget, 0),
 				Config: shard.Config{
 					Enabled:   true,
 					ShardBits: bits,

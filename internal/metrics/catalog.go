@@ -43,15 +43,17 @@ type Catalog struct {
 	// Cost(M) = K_M·|M| + K_T·size(M) + K_U·U(Q,M) surface as
 	// PublishMessages (|M|), PublishTuples/PublishBytes (size(M)) and
 	// IrrelevantTuples (realized U(Q,M)).
-	PlansTotal       *Counter
-	PlanSeconds      *Histogram
-	PublishesTotal   *Counter
-	PublishDeltas    *Counter
-	PublishSeconds   *Histogram
-	PublishMessages  *Counter
-	PublishTuples    *Counter
-	PublishBytes     *Counter
-	IrrelevantTuples *Counter
+	PlansTotal          *Counter
+	PlansIncremental    *Counter
+	PlanBudgetExhausted *Counter
+	PlanSeconds         *Histogram
+	PublishesTotal      *Counter
+	PublishDeltas       *Counter
+	PublishSeconds      *Histogram
+	PublishMessages     *Counter
+	PublishTuples       *Counter
+	PublishBytes        *Counter
+	IrrelevantTuples    *Counter
 
 	// Per-channel splits of the publish totals.
 	ChannelMessages *Vec
@@ -110,15 +112,17 @@ func NewCatalog(channels int) *Catalog {
 		AllocGroupCacheHits:   r.Counter("qsub_alloc_group_cache_hits_total", "channel-group cost cache hits"),
 		AllocGroupCacheMisses: r.Counter("qsub_alloc_group_cache_misses_total", "channel-group cost cache misses (sub-solves run)"),
 
-		PlansTotal:       r.Counter("qsub_plans_total", "multicast plans computed"),
-		PlanSeconds:      r.Histogram("qsub_plan_seconds", "wall time of server.Plan", LatencyBuckets),
-		PublishesTotal:   r.Counter("qsub_publishes_total", "publish cycles (full and delta)"),
-		PublishDeltas:    r.Counter("qsub_publish_deltas_total", "delta publish cycles"),
-		PublishSeconds:   r.Histogram("qsub_publish_seconds", "wall time of server.Publish / PublishDelta", LatencyBuckets),
-		PublishMessages:  r.Counter("qsub_publish_messages_total", "multicast messages published (|M| term)"),
-		PublishTuples:    r.Counter("qsub_publish_tuples_total", "tuples shipped across all messages (size(M) term)"),
-		PublishBytes:     r.Counter("qsub_publish_payload_bytes_total", "payload bytes shipped across all messages"),
-		IrrelevantTuples: r.Counter("qsub_irrelevant_tuples_total", "realized U(Q,M): per-addressed-query tuples shipped outside the query region"),
+		PlansTotal:          r.Counter("qsub_plans_total", "multicast plans computed"),
+		PlansIncremental:    r.Counter("qsub_plans_incremental_total", "plans produced by churn-incremental replan"),
+		PlanBudgetExhausted: r.Counter("qsub_plan_budget_exhausted_total", "plans cut short by the anytime budget (best-so-far returned)"),
+		PlanSeconds:         r.Histogram("qsub_plan_seconds", "wall time of server.Plan", LatencyBuckets),
+		PublishesTotal:      r.Counter("qsub_publishes_total", "publish cycles (full and delta)"),
+		PublishDeltas:       r.Counter("qsub_publish_deltas_total", "delta publish cycles"),
+		PublishSeconds:      r.Histogram("qsub_publish_seconds", "wall time of server.Publish / PublishDelta", LatencyBuckets),
+		PublishMessages:     r.Counter("qsub_publish_messages_total", "multicast messages published (|M| term)"),
+		PublishTuples:       r.Counter("qsub_publish_tuples_total", "tuples shipped across all messages (size(M) term)"),
+		PublishBytes:        r.Counter("qsub_publish_payload_bytes_total", "payload bytes shipped across all messages"),
+		IrrelevantTuples:    r.Counter("qsub_irrelevant_tuples_total", "realized U(Q,M): per-addressed-query tuples shipped outside the query region"),
 
 		ChannelMessages: r.CounterVec("qsub_channel_messages_total", "messages published per channel", "channel", channels),
 		ChannelTuples:   r.CounterVec("qsub_channel_tuples_total", "tuples published per channel", "channel", channels),
@@ -127,12 +131,12 @@ func NewCatalog(channels int) *Catalog {
 		DeltaBatchTuples: r.Histogram("qsub_delta_batch_tuples", "inserted tuples per extracted delta batch", SizeBuckets),
 		DeltaDeletions:   r.Counter("qsub_delta_deletions_total", "deleted tuple ids carried by delta batches"),
 
-		FanoutDeliveries:   r.Counter("qsub_fanout_deliveries_total", "multicast message deliveries to subscribed sessions"),
-		FanoutDropped:      r.Counter("qsub_fanout_dropped_total", "multicast deliveries dropped (loss injection or full buffer under the drop policy)"),
-		FanoutEvictions:    r.Counter("qsub_fanout_evictions_total", "subscriptions evicted because their delivery buffer was full at publish time"),
-		FanoutEncodes:      r.Counter("qsub_fanout_encodes_total", "wire frames encoded for fan-out (once per message per cycle on the shared-frame path)"),
-		FanoutFramesShared: r.Counter("qsub_fanout_frames_shared_total", "per-session frame writes that reused a shared encode-once frame"),
-		FanoutBytes:        r.Counter("qsub_fanout_bytes_total", "frame bytes written to session sockets by the fan-out path"),
+		FanoutDeliveries:    r.Counter("qsub_fanout_deliveries_total", "multicast message deliveries to subscribed sessions"),
+		FanoutDropped:       r.Counter("qsub_fanout_dropped_total", "multicast deliveries dropped (loss injection or full buffer under the drop policy)"),
+		FanoutEvictions:     r.Counter("qsub_fanout_evictions_total", "subscriptions evicted because their delivery buffer was full at publish time"),
+		FanoutEncodes:       r.Counter("qsub_fanout_encodes_total", "wire frames encoded for fan-out (once per message per cycle on the shared-frame path)"),
+		FanoutFramesShared:  r.Counter("qsub_fanout_frames_shared_total", "per-session frame writes that reused a shared encode-once frame"),
+		FanoutBytes:         r.Counter("qsub_fanout_bytes_total", "frame bytes written to session sockets by the fan-out path"),
 		FanoutFramesWritten: r.Counter("qsub_fanout_frames_written_total", "answer frames handed to the kernel by session forwarders (deliveries lag this only by in-flight queues)"),
 		FanoutFlushes:       r.Counter("qsub_fanout_flushes_total", "socket flushes by session forwarders; frames-written over this is the achieved write coalescing factor"),
 

@@ -1,0 +1,271 @@
+package server
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"qsub/internal/core"
+	"qsub/internal/cost"
+	"qsub/internal/query"
+)
+
+// subKey identifies one subscription across planning cycles. Query ids
+// are only unique per client (§3.1), so the owning client is part of
+// the key.
+type subKey struct {
+	owner int
+	id    query.ID
+}
+
+// Replan refreshes a previous cycle after subscription churn (§11)
+// instead of re-solving from scratch. The current subscriptions are
+// diffed against prev on (owner, query id); departed queries are
+// spliced out of their merged sets, new ones are spliced in on their
+// owner's channel, and a neighbor-scoped local repair runs around the
+// changed queries (core.Incremental). Sizes and costs are recomputed
+// against the current estimator with a fresh memo, and the refreshed
+// cycle's EstimatedCost/InitialCost follow the same per-path
+// conventions as Plan, so savings reports stay comparable.
+//
+// Replan falls back to a full Plan whenever the incremental path does
+// not apply: nil prev, sharded planning, Config.FullReplan, a changed
+// channel count, a changed client set on a multi-channel network
+// (channel allocation would have to rerun), or churn touching more
+// than a quarter of the previous cycle, where local repair would grind
+// through most of the instance anyway. When nothing changed at all,
+// prev is returned unmodified; gradual estimator drift under an
+// unchanged subscription set is the drift monitor's job, which
+// escalates to Plan.
+func (s *Server) Replan(prev *Cycle) (*Cycle, error) {
+	if prev == nil || s.cfg.FullReplan || s.cfg.Sharding.Enabled {
+		return s.Plan()
+	}
+
+	// Snapshot in Plan's canonical order: clients ascending, each
+	// client's subscriptions in registration order.
+	s.mu.Lock()
+	clients := make([]int, 0, len(s.subs))
+	for id := range s.subs {
+		clients = append(clients, id)
+	}
+	sort.Ints(clients)
+	var qs []query.Query
+	var owners []int
+	for _, id := range clients {
+		for _, q := range s.subs[id] {
+			qs = append(qs, q)
+			owners = append(owners, id)
+		}
+	}
+	s.mu.Unlock()
+
+	if len(qs) == 0 {
+		return nil, errors.New("server: no subscriptions to plan")
+	}
+	channels := s.net.Channels()
+	if len(prev.ChannelPlans) != channels {
+		return s.Plan()
+	}
+
+	// Diff the subscription sets. prevToUnion maps every previous query
+	// index into the union index space built below: survivors land on
+	// their current index, departed queries on tail slots past len(qs).
+	prevIdx := make(map[subKey]int, len(prev.Queries))
+	for i, q := range prev.Queries {
+		prevIdx[subKey{prev.Owners[i], q.ID}] = i
+	}
+	prevToUnion := make([]int, len(prev.Queries))
+	for i := range prevToUnion {
+		prevToUnion[i] = -1
+	}
+	var added []int // current indices not in prev
+	for i, q := range qs {
+		if p, ok := prevIdx[subKey{owners[i], q.ID}]; ok {
+			prevToUnion[p] = i
+		} else {
+			added = append(added, i)
+		}
+	}
+	var removed []int // prev indices gone this cycle
+	for p, u := range prevToUnion {
+		if u < 0 {
+			removed = append(removed, p)
+		}
+	}
+	if len(added) == 0 && len(removed) == 0 {
+		return prev, nil
+	}
+	if 4*(len(added)+len(removed)) > len(prev.Queries) {
+		return s.Plan()
+	}
+
+	single := channels == 1 || len(clients) == 1
+	if channels > 1 {
+		// Channel assignments are inherited from prev, so the client
+		// set must be stable; a joined or departed client reruns the
+		// §8 allocation via the full path.
+		if len(prev.ClientChannel) != len(clients) {
+			return s.Plan()
+		}
+		for _, id := range clients {
+			if _, ok := prev.ClientChannel[id]; !ok {
+				return s.Plan()
+			}
+		}
+	}
+
+	cat := s.cfg.Metrics
+	planStart := time.Now()
+	budget := core.NewBudget(s.cfg.PlanBudget, s.cfg.PlanMaxSteps)
+
+	// Union instance: current queries first (so surviving plan sets
+	// index straight into the new cycle), departed queries appended at
+	// the tail so their merged sets can be unpicked before the tail is
+	// dropped from the final plans.
+	union := make([]query.Query, 0, len(qs)+len(removed))
+	union = append(union, qs...)
+	for j, p := range removed {
+		prevToUnion[p] = len(qs) + j
+		union = append(union, prev.Queries[p])
+	}
+
+	base := core.NewGeomInstance(s.cfg.Model, union, s.cfg.Procedure, s.cfg.Estimator)
+	memo := cost.NewMemo(base.Sizer, base.N)
+	if cat != nil {
+		memo.SetMetrics(cat.MemoHits, cat.MemoMisses, cat.MemoContended)
+		base.Metrics = &core.SolverMetrics{
+			HeapPops:        cat.SolverHeapPops,
+			Merges:          cat.SolverMerges,
+			Restarts:        cat.SolverRestarts,
+			Components:      cat.SolverComponents,
+			ConvergenceCost: cat.SolverConvergenceCost,
+		}
+	}
+	base.Sizer = memo
+	base.Budget = budget
+
+	cy := &Cycle{
+		Queries:       qs,
+		Owners:        owners,
+		ClientChannel: make(map[int]int, len(clients)),
+		ChannelPlans:  make([]core.Plan, channels),
+	}
+	for _, id := range clients {
+		if single {
+			cy.ClientChannel[id] = 0
+		} else {
+			cy.ClientChannel[id] = prev.ClientChannel[id]
+		}
+	}
+	listeners := make([]int, channels)
+	for _, ch := range cy.ClientChannel {
+		listeners[ch]++
+	}
+	chOf := func(owner int) int {
+		if single {
+			return 0
+		}
+		return cy.ClientChannel[owner]
+	}
+
+	var estimated float64
+	for ch := 0; ch < channels; ch++ {
+		// Per-channel model convention matches chanalloc.ChannelCost:
+		// each channel's listeners pay the §7 filtering term; the
+		// single-channel path keeps the raw model (applySplit and the
+		// publish metrics charge filtering there).
+		model := s.cfg.Model
+		if !single {
+			model.KM += model.K6 * float64(listeners[ch])
+		}
+		instCh := &core.Instance{
+			N:       base.N,
+			Model:   model,
+			Sizer:   memo,
+			Overlap: base.Overlap,
+			Centers: base.Centers,
+			Budget:  budget,
+			Metrics: base.Metrics,
+		}
+		// Reassemble the channel's previous partition in union index
+		// space. Split-covered queries were dropped from transmission,
+		// not from the plan's domain; they return as singletons and can
+		// re-merge or be re-covered this cycle.
+		var plan core.Plan
+		for _, set := range prev.ChannelPlans[ch] {
+			ns := make([]int, len(set))
+			for k, p := range set {
+				ns[k] = prevToUnion[p]
+			}
+			plan = append(plan, ns)
+		}
+		if prev.ChannelCovered != nil && prev.ChannelCovered[ch] != nil {
+			cov := make([]int, 0, len(prev.ChannelCovered[ch]))
+			for q := range prev.ChannelCovered[ch] {
+				cov = append(cov, q)
+			}
+			sort.Ints(cov)
+			for _, q := range cov {
+				plan = append(plan, []int{prevToUnion[q]})
+			}
+		}
+		inc := core.NewIncremental(instCh, plan)
+		inc.SetNeighbors(s.cfg.Neighbors)
+		for _, p := range removed {
+			if chOf(prev.Owners[p]) == ch {
+				inc.Remove(prevToUnion[p])
+			}
+		}
+		for _, i := range added {
+			if chOf(owners[i]) == ch {
+				inc.Add(i)
+			}
+		}
+		newPlan := inc.Plan().Normalize()
+		cy.ChannelPlans[ch] = newPlan
+		if len(newPlan) > 0 {
+			estimated += instCh.Cost(newPlan)
+			if !single {
+				estimated += model.KD
+			}
+		}
+	}
+	cy.EstimatedCost = estimated
+
+	// InitialCost under the same conventions as Plan: raw-model
+	// singletons on the single path, per-listener-charged singletons
+	// plus KD per used channel on the multi path.
+	perChannelInit := make([]float64, channels)
+	queriesOn := make([]int, channels)
+	for i := range qs {
+		ch := chOf(owners[i])
+		km := s.cfg.Model.KM
+		if !single {
+			km += s.cfg.Model.K6 * float64(listeners[ch])
+		}
+		perChannelInit[ch] += km + s.cfg.Model.KT*memo.Size(i)
+		queriesOn[ch]++
+	}
+	for ch := 0; ch < channels; ch++ {
+		if queriesOn[ch] == 0 {
+			continue
+		}
+		cy.InitialCost += perChannelInit[ch]
+		if !single {
+			cy.InitialCost += s.cfg.Model.KD
+		}
+	}
+
+	s.applySplit(cy, len(clients))
+	cy.publishPlans(s.cfg.Procedure)
+	if cat != nil {
+		cat.PlansTotal.Inc()
+		cat.PlansIncremental.Inc()
+		cat.PlanSeconds.Observe(time.Since(planStart).Seconds())
+		if budget.Exhausted() {
+			cat.PlanBudgetExhausted.Inc()
+		}
+	}
+	return cy, nil
+}

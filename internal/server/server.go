@@ -64,6 +64,27 @@ type Config struct {
 	// pipeline is bit-identical to the unsharded single-channel plan
 	// (the equivalence ablation pins this).
 	Sharding shard.Config
+	// PlanBudget caps the wall-clock time one planning cycle may spend
+	// in the solvers (anytime mode, §6 discussion of large n). When the
+	// deadline passes, the solvers return their best partition so far —
+	// always a valid plan — and the cycle is flagged on the
+	// qsub_plan_budget_exhausted_total counter. Zero means no deadline.
+	PlanBudget time.Duration
+	// PlanMaxSteps caps solver work in abstract steps (candidate probes
+	// and heap pops) per planning cycle, a deterministic alternative to
+	// the wall-clock deadline. Zero means unlimited.
+	PlanMaxSteps int64
+	// Neighbors bounds candidate generation in the default PairMerge
+	// merger and the Fig. 14 allocation seeding to each query's k
+	// nearest spatial neighbors in Z-order, dropping the O(n²) candidate
+	// table to O(n·k). Zero keeps the exact full-table generators; k ≥ n
+	// is plan-identical to them. Ignored for an explicitly configured
+	// Algorithm (set PairMerge.Neighbors directly instead).
+	Neighbors int
+	// FullReplan forces Replan to re-solve from scratch every cycle,
+	// disabling the churn-incremental path. Kept as an ablation and as
+	// the quality oracle the incremental soak tests compare against.
+	FullReplan bool
 	// NoDeltaIndex disables the delta-indexed publish path: PublishDelta
 	// re-executes every merged query against the full relation and
 	// filters by watermark afterwards, making per-cycle cost scale with
@@ -102,7 +123,7 @@ func New(rel *relation.Relation, net *multicast.Network, cfg Config) (*Server, e
 		cfg.Procedure = query.BoundingRect{}
 	}
 	if cfg.Algorithm == nil {
-		cfg.Algorithm = core.PairMerge{}
+		cfg.Algorithm = core.PairMerge{Neighbors: cfg.Neighbors}
 	}
 	if cfg.Estimator == nil {
 		cfg.Estimator = relation.Exact{Rel: rel}
@@ -300,18 +321,26 @@ func (s *Server) Plan() (*Cycle, error) {
 
 	cat := s.cfg.Metrics
 	planStart := time.Now()
+	// The anytime budget spans the whole cycle: merging across every
+	// channel (and every shard) draws from the same step/deadline pool,
+	// so PlanBudget bounds the cycle, not each sub-solve.
+	budget := core.NewBudget(s.cfg.PlanBudget, s.cfg.PlanMaxSteps)
 	donePlan := func() {
 		if cat != nil {
 			cat.PlansTotal.Inc()
 			cat.PlanSeconds.Observe(time.Since(planStart).Seconds())
+			if budget.Exhausted() {
+				cat.PlanBudgetExhausted.Inc()
+			}
 		}
 	}
 
 	if s.cfg.Sharding.Enabled {
-		return s.planSharded(qs, owners, clients, clientQueryIdx, donePlan)
+		return s.planSharded(qs, owners, clients, clientQueryIdx, budget, donePlan)
 	}
 
 	inst := core.NewGeomInstance(s.cfg.Model, qs, s.cfg.Procedure, s.cfg.Estimator)
+	inst.Budget = budget
 	// One concurrency-safe merged-size cache for the whole replan cycle:
 	// the channel-allocation hill climb re-merges overlapping client
 	// subsets dozens of times, and the parallel solvers probe the same
@@ -357,6 +386,7 @@ func (s *Server) Plan() (*Cycle, error) {
 		Merger:      s.cfg.Algorithm,
 		Parallelism: s.cfg.Parallelism,
 		Restarts:    s.cfg.Restarts,
+		Neighbors:   s.cfg.Neighbors,
 	}
 	if cat != nil {
 		prob.Metrics = &chanalloc.AllocMetrics{
@@ -402,7 +432,7 @@ func (s *Server) Plan() (*Cycle, error) {
 // global path (every query in exactly one plan set, on its owner's
 // channel), so splitting and publish-plan materialization apply
 // unchanged.
-func (s *Server) planSharded(qs []query.Query, owners, clients []int, clientQueryIdx [][]int, donePlan func()) (*Cycle, error) {
+func (s *Server) planSharded(qs []query.Query, owners, clients []int, clientQueryIdx [][]int, budget *core.Budget, donePlan func()) (*Cycle, error) {
 	cat := s.cfg.Metrics
 	prob := &shard.Problem{
 		Queries:     qs,
@@ -413,6 +443,7 @@ func (s *Server) planSharded(qs []query.Query, owners, clients []int, clientQuer
 		Estimator:   s.cfg.Estimator,
 		Algorithm:   s.cfg.Algorithm,
 		Parallelism: s.cfg.Parallelism,
+		Budget:      budget,
 		Config:      s.cfg.Sharding,
 	}
 	if cat != nil {

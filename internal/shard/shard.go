@@ -78,6 +78,10 @@ type Problem struct {
 	// Parallelism bounds the shard-solving worker pool. Zero means
 	// GOMAXPROCS; results are identical at any setting.
 	Parallelism int
+	// Budget optionally bounds solver work across all shards (anytime
+	// mode): every per-shard solve shares it, so a deadline caps the
+	// whole pipeline, not each shard. Nil means unlimited.
+	Budget *core.Budget
 	// Metrics optionally instruments the per-shard solver runs.
 	Metrics *core.SolverMetrics
 	// MemoHits/MemoMisses/MemoContended optionally instrument the
@@ -119,7 +123,7 @@ type Result struct {
 	// InitialCost is the no-merging cost under the same channel
 	// assignment.
 	InitialCost float64
-	Stats Stats
+	Stats       Stats
 }
 
 // task is one independent per-shard solve: a channel, that channel's
@@ -375,6 +379,7 @@ func solveShard(t *task, proc query.MergeProcedure, est relation.Estimator, algo
 	memo := cost.NewMemo(inst.Sizer, inst.N)
 	memo.SetMetrics(p.MemoHits, p.MemoMisses, p.MemoContended)
 	inst.Sizer = memo
+	inst.Budget = p.Budget
 	inst.Metrics = p.Metrics
 	plan := algo.Solve(inst)
 	c := inst.Cost(plan)
