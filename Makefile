@@ -64,9 +64,13 @@ bench:
 # Short-mode fan-out load harness: 500 real TCP sessions through the
 # split-process driver, shared path and per-session-encode ablation,
 # sanity-gating the delivery fabric on every CI run without the full
-# 10k-session measurement (that lives in `make bench-save`).
+# 10k-session measurement (that lives in `make bench-save`). The second
+# run gates end-to-end latency: publish→receive p99 must be nonzero
+# (frames carried timestamps) and under a deliberately generous 2s
+# ceiling — a sanity floor, not a performance target.
 loadtest:
 	$(GO) run ./cmd/qsubload -sessions 500 -channels 8 -cycles 2 -mode both
+	$(GO) run ./cmd/qsubload -sessions 500 -channels 8 -cycles 2 -latency -assert-p99 2s
 
 # Runs the solver-engine, channel-allocation and dissemination-engine
 # benchmarks and records them as JSON for committing alongside the code
@@ -98,9 +102,13 @@ bench-save:
 		-bench 'BenchmarkSolverScaleFull|BenchmarkSolverScalePruned|BenchmarkSolverScaleBudget|BenchmarkReplanChurn' \
 		-benchmem -benchtime 2x . \
 		| $(GO) run ./cmd/benchjson -o BENCH_solvers_scale.json
-	{ $(GO) run ./cmd/qsubload -sessions 2000 -channels 16 -cycles 3 -mode both; \
-	  $(GO) run ./cmd/qsubload -sessions 10000 -channels 64 -cycles 3 -timeout 10m -mode both; } \
+	{ $(GO) run ./cmd/qsubload -sessions 2000 -channels 16 -cycles 3 -mode both -latency; \
+	  $(GO) run ./cmd/qsubload -sessions 10000 -channels 64 -cycles 3 -timeout 10m -mode both -latency; } \
+		> /tmp/qsubload-fanout.txt
+	grep '^BenchmarkFanout' /tmp/qsubload-fanout.txt \
 		| $(GO) run ./cmd/benchjson -o BENCH_fanout.json
+	grep '^BenchmarkLatency' /tmp/qsubload-fanout.txt \
+		| $(GO) run ./cmd/benchjson -o BENCH_latency.json
 
 # Diffs a fresh bench-save against the committed baselines, failing on
 # >20% time/op or allocs/op regressions.
@@ -111,6 +119,7 @@ bench-compare:
 	cp BENCH_sharding.json /tmp/BENCH_sharding.baseline.json
 	cp BENCH_solvers_scale.json /tmp/BENCH_solvers_scale.baseline.json
 	cp BENCH_fanout.json /tmp/BENCH_fanout.baseline.json
+	cp BENCH_latency.json /tmp/BENCH_latency.baseline.json
 	$(MAKE) bench-save
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_solvers.baseline.json BENCH_solvers.json
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_chanalloc.baseline.json BENCH_chanalloc.json
@@ -118,6 +127,7 @@ bench-compare:
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_sharding.baseline.json BENCH_sharding.json
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_solvers_scale.baseline.json BENCH_solvers_scale.json
 	$(GO) run ./cmd/benchjson compare /tmp/BENCH_fanout.baseline.json BENCH_fanout.json
+	$(GO) run ./cmd/benchjson compare /tmp/BENCH_latency.baseline.json BENCH_latency.json
 
 # Regenerates every table and figure (see EXPERIMENTS.md).
 experiments:

@@ -55,6 +55,7 @@ func main() {
 		neighbors = flag.Int("neighbors", 0, "prune merge candidates to each query's k nearest Z-order neighbors (0 = exact full table)")
 
 		perSession = flag.Bool("per-session-encode", false, "disable the encode-once fan-out fabric and re-encode every message per receiving session (ablation/debug)")
+		noStamps   = flag.Bool("no-timestamps", false, "do not stamp answer frames with a publish timestamp (reverts to the pre-timestamp wire format, disabling client latency tracking)")
 		readIdle   = flag.Duration("read-idle", 5*time.Minute, "drop a session that sends no frame for this long (0 disables)")
 		writeTO    = flag.Duration("write-timeout", daemon.DefaultWriteTimeout, "per-frame write deadline for session connections (0 disables)")
 		subBuffer  = flag.Int("sub-buffer", daemon.DefaultSubscriberBuffer, "per-session delivery queue depth")
@@ -107,6 +108,7 @@ func main() {
 	}
 	d.Logf = log.Printf
 	d.PerSessionEncode = *perSession
+	d.DisableTimestamps = *noStamps
 	d.ReadIdleTimeout = *readIdle
 	d.WriteTimeout = *writeTO
 	d.SubscriberBuffer = *subBuffer
@@ -126,7 +128,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("qsubd: admin endpoint on http://%s (/metrics, /healthz, /statusz, /debug/pprof)", aln.Addr())
+		log.Printf("qsubd: admin endpoint on http://%s (/metrics, /healthz, /statusz, /buildinfo, /debug/pprof)", aln.Addr())
 		go func() {
 			if err := (&http.Server{Handler: d.AdminMux()}).Serve(aln); err != nil {
 				log.Printf("qsubd: admin endpoint: %v", err)

@@ -30,15 +30,17 @@ import (
 
 func main() {
 	var (
-		sessions = flag.Int("sessions", 10000, "concurrent netclient sessions (one subscription each)")
-		channels = flag.Int("channels", 64, "multicast channels")
-		cycles   = flag.Int("cycles", 3, "measured delta cycles after the bootstrap cycle")
-		mode     = flag.String("mode", "shared", "delivery path under test: shared, ablation (per-session encode) or both")
-		split    = flag.Bool("split", true, "run the daemon in a child process (halves the per-process fd load)")
-		timeout  = flag.Duration("timeout", 5*time.Minute, "per-phase timeout")
-		verbose  = flag.Bool("v", false, "log harness progress to stderr")
-		serve    = flag.Bool("serve", false, "internal: run the daemon half on stdin/stdout (split-process child)")
-		profile  = flag.String("cpuprofile", "", "write a CPU profile of the daemon half to this file")
+		sessions  = flag.Int("sessions", 10000, "concurrent netclient sessions (one subscription each)")
+		channels  = flag.Int("channels", 64, "multicast channels")
+		cycles    = flag.Int("cycles", 3, "measured delta cycles after the bootstrap cycle")
+		mode      = flag.String("mode", "shared", "delivery path under test: shared, ablation (per-session encode) or both")
+		split     = flag.Bool("split", true, "run the daemon in a child process (halves the per-process fd load)")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "per-phase timeout")
+		verbose   = flag.Bool("v", false, "log harness progress to stderr")
+		serve     = flag.Bool("serve", false, "internal: run the daemon half on stdin/stdout (split-process child)")
+		profile   = flag.String("cpuprofile", "", "write a CPU profile of the daemon half to this file")
+		latency   = flag.Bool("latency", false, "emit publish→receive latency rows (BenchmarkLatency/... for BENCH_latency.json) alongside the fan-out lines")
+		assertP99 = flag.Duration("assert-p99", 0, "exit nonzero unless the publish→receive p99 is nonzero and below this ceiling (smoke-test gate)")
 	)
 	flag.Parse()
 
@@ -95,8 +97,19 @@ func main() {
 			log.Fatalf("qsubload: %v", err)
 		}
 		fmt.Println(res.BenchLine())
+		if *latency || *assertP99 > 0 {
+			fmt.Println(res.LatencyBenchLine())
+		}
 		if res.Flushes > 0 {
 			fmt.Printf("# %s: %.1f frames per socket flush\n", res.Mode(), float64(res.Frames)/float64(res.Flushes))
+		}
+		if *assertP99 > 0 {
+			if res.LatencyP99 <= 0 {
+				log.Fatalf("qsubload: publish→receive p99 is zero — frames arrived unstamped (%d samples)", res.LatencySamples)
+			}
+			if res.LatencyP99 >= *assertP99 {
+				log.Fatalf("qsubload: publish→receive p99 %s breaches the %s ceiling", res.LatencyP99, *assertP99)
+			}
 		}
 		results = append(results, res)
 	}

@@ -11,6 +11,7 @@ package client
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"qsub/internal/metrics"
 	"qsub/internal/multicast"
@@ -38,6 +39,14 @@ type Stats struct {
 	GapsDetected int
 	// CacheHits counts tuples skipped by the object cache.
 	CacheHits int
+	// LastPublishedUnixNano is the publish timestamp of the newest
+	// handled message, zero when frames carry no timestamps. Together
+	// with LastHandledUnixNano it gives the client's current staleness.
+	LastPublishedUnixNano int64
+	// LastHandledUnixNano is the local receive time of the newest
+	// timestamped message (only tracked when timestamps are present, so
+	// untimestamped streams pay no clock reads).
+	LastHandledUnixNano int64
 }
 
 // QueryStats is the per-query accounting of one client.
@@ -84,6 +93,9 @@ type Client struct {
 	// Optional nil-safe extractor instrumentation (see SetMetrics).
 	mKept     *metrics.Counter
 	mFiltered *metrics.Counter
+	// Optional publish→Handle latency histogram (see
+	// SetLatencyHistogram).
+	mLatency *metrics.Histogram
 }
 
 // New creates a client with the given id and subscription queries.
@@ -107,6 +119,19 @@ func (c *Client) SetMetrics(kept, filtered *metrics.Counter) {
 	defer c.mu.Unlock()
 	c.mKept = kept
 	c.mFiltered = filtered
+}
+
+// SetLatencyHistogram attaches a publish→receive latency histogram:
+// Handle observes the delta between each message's publish timestamp
+// and the local clock, in seconds. Messages without a timestamp (older
+// daemons, or stamping disabled) are skipped. The handle is
+// allocation-free, so the Handle zero-alloc pin holds with latency
+// tracking enabled. Meaningful only when publisher and receiver share a
+// clock (same host); cross-host deltas include clock skew.
+func (c *Client) SetLatencyHistogram(h *metrics.Histogram) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mLatency = h
 }
 
 // find returns the index of the entry for the query id, or -1.
@@ -177,6 +202,14 @@ func (c *Client) Handle(msg multicast.Message) {
 	}
 	if msg.Seq > c.lastSeq {
 		c.lastSeq = msg.Seq
+	}
+	if msg.PublishedUnixNano != 0 {
+		now := time.Now().UnixNano()
+		c.stats.LastPublishedUnixNano = msg.PublishedUnixNano
+		c.stats.LastHandledUnixNano = now
+		if c.mLatency != nil {
+			c.mLatency.Observe(float64(now-msg.PublishedUnixNano) / 1e9)
+		}
 	}
 
 	hdr, addressed := msg.EntryFor(c.id)

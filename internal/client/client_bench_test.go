@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"sort"
 	"testing"
+	"time"
 
 	"qsub/internal/geom"
 	"qsub/internal/metrics"
@@ -248,6 +249,19 @@ func TestHandleSteadyStateAllocs(t *testing.T) {
 	}
 	if cat.ClientFilteredMessages.Load() == 0 || cat.ClientKeptTuples.Load() == 0 {
 		t.Fatal("metrics counters did not advance during the pinned runs")
+	}
+
+	// And with latency tracking on timestamped messages: the histogram
+	// observe is atomics-only, the clock read stack-resident.
+	c.SetLatencyHistogram(cat.ClientLatencySeconds)
+	stamped := addressed
+	stamped.PublishedUnixNano = time.Now().UnixNano()
+	c.Handle(stamped)
+	if allocs := testing.AllocsPerRun(100, func() { c.Handle(stamped) }); allocs != 0 {
+		t.Fatalf("timestamped message with latency histogram: %v allocs/op, want 0", allocs)
+	}
+	if cat.ClientLatencySeconds.Count() == 0 {
+		t.Fatal("latency histogram did not advance during the pinned runs")
 	}
 }
 

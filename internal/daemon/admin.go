@@ -1,15 +1,18 @@
 // Admin endpoint: an optional HTTP listener exposing the daemon's
-// instrument catalog and planning state for operators. Three views, all
+// instrument catalog and planning state for operators. Four views, all
 // read-only — /metrics (Prometheus text exposition for scrapers),
 // /healthz (liveness), /statusz (one JSON document with the current
-// plan summary and a full metrics snapshot) — plus the standard
-// net/http/pprof profiling handlers under /debug/pprof/.
+// plan summary, recent cycle ledger, laggiest sessions, build info and
+// a full metrics snapshot), /buildinfo (the build stanza alone) — plus
+// the standard net/http/pprof profiling handlers under /debug/pprof/.
 package daemon
 
 import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 
 	"qsub/internal/metrics"
 )
@@ -39,15 +42,65 @@ type Status struct {
 	Replans int `json:"replans"`
 	// Plan summarizes the cached cycle; nil before the first plan.
 	Plan *PlanSummary `json:"plan,omitempty"`
+	// RecentCycles is the pipeline ledger: per-cycle stage timings for
+	// the most recent cycles, oldest first.
+	RecentCycles []CycleRecord `json:"recentCycles,omitempty"`
+	// Laggards are the laggiest sessions, worst first (at most
+	// statusLaggards entries).
+	Laggards []SessionLag `json:"laggards,omitempty"`
+	// Build identifies the running binary.
+	Build *BuildInfo `json:"build,omitempty"`
 	// Metrics is the full registry snapshot.
 	Metrics *metrics.Snapshot `json:"metrics"`
+}
+
+// statusLaggards bounds the laggard list embedded in /statusz.
+const statusLaggards = 10
+
+// BuildInfo identifies the running binary for /buildinfo and /statusz.
+type BuildInfo struct {
+	GoVersion string `json:"goVersion"`
+	// Path is the main module path.
+	Path string `json:"path,omitempty"`
+	// Revision and Modified come from the VCS stamp, when the binary
+	// was built from a checkout ("" / false otherwise).
+	Revision string `json:"revision,omitempty"`
+	Modified bool   `json:"modified,omitempty"`
+	// GOMAXPROCS and NumCPU describe the host the binary runs on.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"numCpu"`
+}
+
+// ReadBuild collects the build stanza from the binary's embedded build
+// information.
+func ReadBuild() *BuildInfo {
+	bi := &BuildInfo{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		bi.Path = info.Main.Path
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				bi.Revision = s.Value
+			case "vcs.modified":
+				bi.Modified = s.Value == "true"
+			}
+		}
+	}
+	return bi
 }
 
 // Status collects the /statusz document.
 func (d *Daemon) Status() Status {
 	st := Status{
-		Channels: d.net.Channels(),
-		Metrics:  d.metrics.Snapshot(),
+		Channels:     d.net.Channels(),
+		Metrics:      d.metrics.Snapshot(),
+		RecentCycles: d.ledger.recent(),
+		Laggards:     d.TopLaggards(statusLaggards),
+		Build:        ReadBuild(),
 	}
 	d.mu.Lock()
 	st.Sessions = len(d.sessions)
@@ -91,6 +144,14 @@ func (d *Daemon) AdminMux() *http.ServeMux {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(d.Status()); err != nil {
 			d.logf("daemon: /statusz write: %v", err)
+		}
+	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ReadBuild()); err != nil {
+			d.logf("daemon: /buildinfo write: %v", err)
 		}
 	})
 	// net/http/pprof only self-registers on http.DefaultServeMux; the

@@ -21,6 +21,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qsub/internal/metrics"
@@ -95,8 +96,30 @@ type Daemon struct {
 	// ablation/oracle for the shared-frame fast path; both paths put
 	// byte-identical frames on the wire. Set before the first cycle.
 	PerSessionEncode bool
+	// Now supplies publish timestamps and staleness clocks in UnixNano;
+	// nil uses the wall clock. Tests inject a fixed clock so published
+	// byte streams stay deterministic. Set before the first cycle.
+	Now func() int64
+	// DisableTimestamps turns off publish-timestamp stamping entirely,
+	// shrinking answer frames by 9 bytes and reverting them to the
+	// pre-timestamp wire format. Set before the first cycle.
+	DisableTimestamps bool
 
 	encOnce sync.Once // installs the multicast encoder on the first cycle
+
+	// ledger is the cycle pipeline ledger (see ledger.go); encodeNanos
+	// accumulates encode-once marshalling time for the current cycle's
+	// encode stage.
+	ledger      cycleLedger
+	encodeNanos atomic.Int64
+}
+
+// clockNano reads the daemon's clock (see Now).
+func (d *Daemon) clockNano() int64 {
+	if d.Now != nil {
+		return d.Now()
+	}
+	return time.Now().UnixNano()
 }
 
 // session is one connected TCP client.
@@ -112,6 +135,19 @@ type session struct {
 	fwdDone chan struct{}           // closed when the current forwarder exits
 	queries map[query.ID]struct{}   // query ids this session registered
 	gone    bool                    // dropped or superseded; bind must not attach
+
+	// Lag bookkeeping, updated lock-free by the forwarder after each
+	// successful write: the newest delivered sequence number and when
+	// it went out. The per-cycle watermark pass (see lag.go) reads
+	// them to compute seq lag and staleness per session.
+	lastSeq       atomic.Uint64
+	lastWriteNano atomic.Int64
+}
+
+// noteWrite records a successful frame write for lag accounting.
+func (s *session) noteWrite(nowNano int64, seq uint64) {
+	s.lastSeq.Store(seq)
+	s.lastWriteNano.Store(nowNano)
 }
 
 // trackQuery records a successfully registered query id. It reports
@@ -252,6 +288,7 @@ func (d *Daemon) readFrame(conn net.Conn) (uint8, []byte, error) {
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
 			d.metrics.SessionsExpired.Inc()
+			d.metrics.SessionsExpiredIdle.Inc()
 			return 0, nil, fmt.Errorf("daemon: session idle past %s: %w", d.ReadIdleTimeout, err)
 		}
 	}
@@ -296,6 +333,7 @@ func (d *Daemon) handle(conn net.Conn) error {
 	}
 	old := d.sessions[hello.ClientID]
 	d.sessions[hello.ClientID] = sess
+	d.metrics.SessionsConnected.Set(int64(len(d.sessions)))
 	d.mu.Unlock()
 	if old != nil {
 		// Supersede rule: a reconnecting client id replaces its
@@ -391,6 +429,7 @@ func (d *Daemon) dropSession(sess *session) {
 	if d.sessions[sess.clientID] == sess {
 		delete(d.sessions, sess.clientID)
 	}
+	d.metrics.SessionsConnected.Set(int64(len(d.sessions)))
 	d.mu.Unlock()
 	sub, fwdDone, ids := sess.takeTeardown()
 	if sub != nil {
@@ -448,6 +487,13 @@ func (d *Daemon) Replans() int {
 // cycle's publish into full answers.
 func (d *Daemon) RunCycle(delta bool) (server.Report, error) {
 	d.ensureEncoder()
+	rec := CycleRecord{
+		Cycle:         d.ledger.begin(),
+		StartUnixNano: d.clockNano(),
+		Mode:          "cached",
+		Sharded:       d.srv.ShardingEnabled(),
+		Delta:         delta,
+	}
 	d.planMu.Lock()
 	drifted := d.drift.ShouldReplan()
 	needPlan := d.cycle == nil || d.dirty || drifted
@@ -459,6 +505,9 @@ func (d *Daemon) RunCycle(delta bool) (server.Report, error) {
 	if needPlan {
 		var fresh *server.Cycle
 		var err error
+		planStart := time.Now()
+		incBefore := d.metrics.PlansIncremental.Load()
+		budgetBefore := d.metrics.PlanBudgetExhausted.Load()
 		if cy != nil && !drifted {
 			// Subscription churn with still-valid size estimates: splice
 			// the changed queries into the live plan (§11 incremental
@@ -468,6 +517,13 @@ func (d *Daemon) RunCycle(delta bool) (server.Report, error) {
 		} else {
 			fresh, err = d.srv.Plan()
 		}
+		rec.PlanSeconds = time.Since(planStart).Seconds()
+		if d.metrics.PlansIncremental.Load() > incBefore {
+			rec.Mode = "incremental"
+		} else {
+			rec.Mode = "full"
+		}
+		rec.BudgetExhausted = d.metrics.PlanBudgetExhausted.Load() > budgetBefore
 		if err != nil {
 			return server.Report{}, err
 		}
@@ -512,26 +568,40 @@ func (d *Daemon) RunCycle(delta bool) (server.Report, error) {
 		}
 	}
 
-	if delta && forceFull {
-		// Gap recovery: ship full answers once so reconnected or
-		// message-lossy clients rebuild complete state.
-		rep, err := d.srv.Publish(cy)
-		if err == nil {
-			d.record(trace.Event{Kind: trace.KindPublish,
-				Messages: rep.Messages, Tuples: rep.Tuples, PayloadBytes: rep.PayloadBytes})
-		}
+	// Gap recovery turns a delta cycle into full answers once, so
+	// reconnected or message-lossy clients rebuild complete state.
+	rec.Delta = delta && !forceFull
+	encBefore := d.encodeNanos.Load()
+	pubStart := time.Now()
+	var rep server.Report
+	var err error
+	if rec.Delta {
+		rep, err = d.srv.PublishDelta(cy)
+	} else {
+		rep, err = d.srv.Publish(cy)
+	}
+	pubSeconds := time.Since(pubStart).Seconds()
+	// The encode-once hook runs inside Publish and self-times; the
+	// fanout stage is the publish remainder (enqueue + shared-frame
+	// handoff), never negative even if the clocks disagree slightly.
+	rec.EncodeSeconds = float64(d.encodeNanos.Load()-encBefore) / 1e9
+	rec.FanoutSeconds = pubSeconds - rec.EncodeSeconds
+	if rec.FanoutSeconds < 0 {
+		rec.FanoutSeconds = 0
+	}
+	if err != nil {
 		return rep, err
 	}
-	if delta {
-		rep, err := d.srv.PublishDelta(cy)
-		if err == nil {
-			d.record(trace.Event{Kind: trace.KindPublish, Delta: true,
-				Messages: rep.Messages, Tuples: rep.Tuples, PayloadBytes: rep.PayloadBytes})
-		}
-		return rep, err
-	}
-	rep, err := d.srv.Publish(cy)
-	if err == nil {
+	rec.Messages, rec.Tuples, rec.PayloadBytes = rep.Messages, rep.Tuples, rep.PayloadBytes
+
+	switch {
+	case delta && forceFull:
+		d.record(trace.Event{Kind: trace.KindPublish,
+			Messages: rep.Messages, Tuples: rep.Tuples, PayloadBytes: rep.PayloadBytes})
+	case delta:
+		d.record(trace.Event{Kind: trace.KindPublish, Delta: true,
+			Messages: rep.Messages, Tuples: rep.Tuples, PayloadBytes: rep.PayloadBytes})
+	default:
 		// Full publishes feed the drift monitor; delta payloads vary
 		// by nature and would trigger spurious re-plans.
 		d.planMu.Lock()
@@ -543,7 +613,9 @@ func (d *Daemon) RunCycle(delta bool) (server.Report, error) {
 		d.record(trace.Event{Kind: trace.KindDrift, Drift: drift, Replan: replan,
 			Metrics: d.traceSnapshot()})
 	}
-	return rep, err
+	d.finishCycle(rec, d.metrics.FanoutDeliveries.Load())
+	d.updateLagWatermarks()
+	return rep, nil
 }
 
 // ensureEncoder installs the encode-once hook on the multicast network
@@ -553,11 +625,20 @@ func (d *Daemon) RunCycle(delta bool) (server.Report, error) {
 // immutable slice directly.
 func (d *Daemon) ensureEncoder() {
 	d.encOnce.Do(func() {
+		if !d.DisableTimestamps {
+			// Stamp publishes at seq assignment so every frame carries
+			// its publish time for end-to-end latency accounting. Both
+			// fan-out paths stamp: the ablation must stay byte-comparable.
+			d.net.SetClock(d.clockNano)
+		}
 		if d.PerSessionEncode {
 			return
 		}
 		d.net.SetEncoder(func(m multicast.Message) []byte {
-			return wire.AppendMessageFrame(nil, m)
+			t0 := time.Now()
+			buf := wire.AppendMessageFrame(nil, m)
+			d.encodeNanos.Add(time.Since(t0).Nanoseconds())
+			return buf
 		})
 	})
 }
@@ -629,6 +710,7 @@ func (d *Daemon) bind(sess *session, channel int) error {
 			var ne net.Error
 			if errors.As(werr, &ne) && ne.Timeout() {
 				d.metrics.SessionsExpired.Inc()
+				d.metrics.SessionsExpiredWrite.Inc()
 			}
 			sess.conn.Close()
 		}
@@ -663,6 +745,7 @@ func (d *Daemon) forwardPerSession(sess *session, sub *multicast.Subscription) e
 		}
 		d.metrics.FanoutFramesWritten.Inc()
 		d.metrics.FanoutFlushes.Inc()
+		sess.noteWrite(d.clockNano(), msg.Seq)
 	}
 	return nil
 }
@@ -707,6 +790,7 @@ func (d *Daemon) forwardShared(sess *session, sub *multicast.Subscription) error
 				batch = append(batch, frame)
 				batchBytes += uint64(len(frame))
 			}
+			lastSeq := msgs[n-1].Seq
 			msgs = msgs[n:]
 			d.metrics.FanoutFramesShared.Add(uint64(shared))
 			d.metrics.FanoutBytes.Add(batchBytes)
@@ -715,6 +799,7 @@ func (d *Daemon) forwardShared(sess *session, sub *multicast.Subscription) error
 			}
 			d.metrics.FanoutFramesWritten.Add(uint64(len(batch)))
 			d.metrics.FanoutFlushes.Inc()
+			sess.noteWrite(d.clockNano(), lastSeq)
 		}
 		if !ok {
 			return nil

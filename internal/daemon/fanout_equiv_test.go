@@ -70,6 +70,10 @@ func runFanoutWorld(t *testing.T, cfg fanoutCfg, perSession bool) fanoutWorld {
 	}
 	d.PerSessionEncode = perSession
 	d.SlowPolicy = cfg.policy
+	// Byte-identical streams require identical publish timestamps, so
+	// both worlds run on the same fixed clock. The stamping path itself
+	// still runs — frames carry the timestamp field in both worlds.
+	d.Now = func() int64 { return 1_700_000_000_000_000_000 }
 	// Buffers are deep enough that no policy ever actually drops or
 	// evicts: the policies' enqueue paths run, but the streams stay
 	// deterministic and comparable.

@@ -323,6 +323,17 @@ type Result struct {
 	// start → frame arrival at the session).
 	P50, P99 time.Duration
 
+	// LatencyP50/P90/P99/Max are true publish→receive latency
+	// percentiles, computed from the publish timestamp each answer
+	// frame carries (stamped at seq assignment in the daemon) against
+	// the session's receive clock. Unlike P50/P99 above they exclude
+	// the plan stage and start each frame's clock at its own publish,
+	// so they are the per-frame delivery-latency numbers. Zero when the
+	// daemon ran with timestamps disabled. LatencySamples counts the
+	// measured frames.
+	LatencyP50, LatencyP90, LatencyP99, LatencyMax time.Duration
+	LatencySamples                                 uint64
+
 	// Daemon-side counter deltas over the measured window.
 	Encodes, FramesShared, FanoutBytes, Deliveries uint64
 	// Flushes is the socket-flush count of the measured window;
@@ -362,14 +373,30 @@ func (r Result) BenchLine() string {
 		r.EncodesPerCycle(), r.BytesPerCycle())
 }
 
+// LatencyBenchLine formats the publish→receive latency numbers as one
+// `go test -bench` style line for BENCH_latency.json. ns/op carries the
+// p99 so `benchjson compare` gates tail-latency regressions directly.
+func (r Result) LatencyBenchLine() string {
+	return fmt.Sprintf(
+		"BenchmarkLatency/sessions=%d/channels=%d/mode=%s \t%d\t%d ns/op\t%.3f p50-ms\t%.3f p90-ms\t%.3f p99-ms\t%.3f max-ms\t%d samples",
+		r.Sessions, r.Channels, r.Mode(), r.Cycles,
+		r.LatencyP99.Nanoseconds(),
+		float64(r.LatencyP50.Microseconds())/1000,
+		float64(r.LatencyP90.Microseconds())/1000,
+		float64(r.LatencyP99.Microseconds())/1000,
+		float64(r.LatencyMax.Microseconds())/1000,
+		r.LatencySamples)
+}
+
 // latHist is a lock-free log-linear latency histogram: microsecond
 // exact under 16µs, then 16 minor buckets per power of two (≤6.25%
 // error), covering past an hour. Concurrent Record calls are safe.
 const latBuckets = 16 * 48
 
 type latHist struct {
-	buckets [latBuckets]atomic.Uint64
-	count   atomic.Uint64
+	buckets  [latBuckets]atomic.Uint64
+	count    atomic.Uint64
+	maxNanos atomic.Int64
 }
 
 func latBucket(d time.Duration) int {
@@ -401,6 +428,12 @@ func latValue(b int) time.Duration {
 func (h *latHist) Record(d time.Duration) {
 	h.buckets[latBucket(d)].Add(1)
 	h.count.Add(1)
+	for {
+		cur := h.maxNanos.Load()
+		if int64(d) <= cur || h.maxNanos.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
 }
 
 func (h *latHist) Reset() {
@@ -408,7 +441,11 @@ func (h *latHist) Reset() {
 		h.buckets[i].Store(0)
 	}
 	h.count.Store(0)
+	h.maxNanos.Store(0)
 }
+
+// Max returns the largest recorded latency, exact (not bucketed).
+func (h *latHist) Max() time.Duration { return time.Duration(h.maxNanos.Load()) }
 
 // Percentile returns the latency at quantile q in [0, 1].
 func (h *latHist) Percentile(q float64) time.Duration {
@@ -449,6 +486,7 @@ func Run(ctl Control, cfg Config) (Result, error) {
 		cycleStart atomic.Int64 // UnixNano of the in-flight cycle
 		measuring  atomic.Bool
 		hist       latHist
+		e2e        latHist // publish→receive, from frame timestamps
 	)
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -471,7 +509,11 @@ func Run(ctl Control, cfg Config) (Result, error) {
 					}
 				case ev.Answer != nil:
 					if measuring.Load() {
-						hist.Record(time.Duration(time.Now().UnixNano() - cycleStart.Load()))
+						now := time.Now().UnixNano()
+						hist.Record(time.Duration(now - cycleStart.Load()))
+						if ts := ev.Answer.PublishedUnixNano; ts != 0 {
+							e2e.Record(time.Duration(now - ts))
+						}
 					}
 					total.Add(1)
 				}
@@ -578,6 +620,7 @@ func Run(ctl Control, cfg Config) (Result, error) {
 	}
 
 	hist.Reset()
+	e2e.Reset()
 	measuring.Store(true)
 	var wall time.Duration
 	want, last := bootFrames, base
@@ -639,6 +682,11 @@ func Run(ctl Control, cfg Config) (Result, error) {
 		FramesPerSec:     float64(frames) / wall.Seconds(),
 		P50:              hist.Percentile(0.50),
 		P99:              hist.Percentile(0.99),
+		LatencyP50:       e2e.Percentile(0.50),
+		LatencyP90:       e2e.Percentile(0.90),
+		LatencyP99:       e2e.Percentile(0.99),
+		LatencyMax:       e2e.Max(),
+		LatencySamples:   e2e.count.Load(),
 		Encodes:          end.Encodes - base.Encodes,
 		FramesShared:     end.FramesShared - base.FramesShared,
 		FanoutBytes:      end.Bytes - base.Bytes,

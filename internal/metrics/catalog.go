@@ -7,6 +7,15 @@ var (
 		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
 		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
 	}
+	// FineLatencyBuckets covers 25µs .. 2.5s with roughly 2–2.5×
+	// steps, in seconds — finer than LatencyBuckets so publish→receive
+	// quantiles interpolate within narrow buckets instead of spanning
+	// a whole decade.
+	FineLatencyBuckets = []float64{
+		0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001,
+		0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5,
+	}
 	// SizeBuckets covers batch/tuple counts 1 .. 64k in powers of four.
 	SizeBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}
 	// CostBuckets covers solver objective values across nine decades.
@@ -78,15 +87,37 @@ type Catalog struct {
 	FanoutFramesWritten *Counter
 	FanoutFlushes       *Counter
 
-	// daemon session lifecycle.
-	SessionsEvicted    *Counter
-	SessionsSuperseded *Counter
-	SessionsExpired    *Counter
+	// daemon session lifecycle. SessionsExpired is the aggregate;
+	// the Idle/Write splits attribute each expiry to its cause.
+	SessionsEvicted      *Counter
+	SessionsSuperseded   *Counter
+	SessionsExpired      *Counter
+	SessionsExpiredIdle  *Counter
+	SessionsExpiredWrite *Counter
 
-	// Client-side extractor.
+	// Cycle pipeline ledger: where each RunCycle's wall time goes,
+	// split by stage (see CycleStages), plus per-session lag
+	// watermarks recomputed at the end of every cycle.
+	CycleStageSeconds    *HVec
+	SessionLagSeconds    *Histogram
+	SessionsConnected    *Gauge
+	SessionMaxSeqLag     *Gauge
+	SessionMaxQueueDepth *Gauge
+	SessionMaxStaleMs    *Gauge
+
+	// Client-side extractor and end-to-end delivery latency
+	// (publish timestamp → client Handle, same-host clocks).
 	ClientKeptTuples       *Counter
 	ClientFilteredMessages *Counter
+	ClientLatencySeconds   *Histogram
 }
+
+// CycleStages are the label values of the qsub_cycle_stage_seconds
+// histogram vec, in pipeline order: planning (merge + allocate),
+// encode-once frame marshalling, fan-out enqueue (the publish call,
+// query execution included), and socket writes draining the cycle's
+// frames to the kernel.
+var CycleStages = []string{"plan", "encode", "fanout", "write"}
 
 // NewCatalog builds a fresh registry with every qsub instrument
 // pre-registered. channels sizes the per-channel counter vecs; pass 0
@@ -140,12 +171,22 @@ func NewCatalog(channels int) *Catalog {
 		FanoutFramesWritten: r.Counter("qsub_fanout_frames_written_total", "answer frames handed to the kernel by session forwarders (deliveries lag this only by in-flight queues)"),
 		FanoutFlushes:       r.Counter("qsub_fanout_flushes_total", "socket flushes by session forwarders; frames-written over this is the achieved write coalescing factor"),
 
-		SessionsEvicted:    r.Counter("qsub_sessions_evicted_total", "daemon sessions dropped as slow consumers"),
-		SessionsSuperseded: r.Counter("qsub_sessions_superseded_total", "daemon sessions replaced by a reconnect with the same client id"),
-		SessionsExpired:    r.Counter("qsub_sessions_expired_total", "daemon sessions dropped on read-idle or write deadline expiry"),
+		SessionsEvicted:      r.Counter("qsub_sessions_evicted_total", "daemon sessions dropped as slow consumers"),
+		SessionsSuperseded:   r.Counter("qsub_sessions_superseded_total", "daemon sessions replaced by a reconnect with the same client id"),
+		SessionsExpired:      r.Counter("qsub_sessions_expired_total", "daemon sessions dropped on read-idle or write deadline expiry"),
+		SessionsExpiredIdle:  r.Counter("qsub_sessions_expired_idle_total", "daemon sessions dropped because no frame arrived within the read-idle timeout"),
+		SessionsExpiredWrite: r.Counter("qsub_sessions_expired_write_total", "daemon sessions dropped because a frame write missed its deadline"),
+
+		CycleStageSeconds:    r.HistogramVec("qsub_cycle_stage_seconds", "wall time of each RunCycle pipeline stage", "stage", CycleStages, LatencyBuckets),
+		SessionLagSeconds:    r.Histogram("qsub_session_lag_seconds", "per-cycle watermark: staleness of the laggiest session (time since its last delivered frame)", LatencyBuckets),
+		SessionsConnected:    r.Gauge("qsub_sessions_connected", "live daemon sessions"),
+		SessionMaxSeqLag:     r.Gauge("qsub_session_max_seq_lag", "per-cycle watermark: largest per-session sequence lag behind the channel head"),
+		SessionMaxQueueDepth: r.Gauge("qsub_session_max_queue_depth", "per-cycle watermark: deepest per-session delivery queue"),
+		SessionMaxStaleMs:    r.Gauge("qsub_session_max_staleness_ms", "per-cycle watermark: staleness of the laggiest session in milliseconds"),
 
 		ClientKeptTuples:       r.Counter("qsub_client_kept_tuples_total", "tuples kept by the client extractor"),
 		ClientFilteredMessages: r.Counter("qsub_client_filtered_messages_total", "messages discarded by clients as unaddressed"),
+		ClientLatencySeconds:   r.Histogram("qsub_client_latency_seconds", "publish-timestamp to client-Handle delivery latency (same-host clocks)", FineLatencyBuckets),
 	}
 }
 

@@ -93,13 +93,15 @@ func (g *Gauge) Load() int64 {
 
 // A Histogram counts observations into fixed upper-bound buckets
 // (cumulative on export, Prometheus-style, with an implicit +Inf
-// bucket) and tracks the running sum.
+// bucket) and tracks the running sum and maximum.
 type Histogram struct {
 	name, help string
+	labels     string          // preformatted k="v" pairs (no braces), "" for plain histograms
 	bounds     []float64       // ascending upper bounds; immutable after registration
 	counts     []atomic.Uint64 // len(bounds)+1; last is +Inf overflow
 	count      atomic.Uint64
 	sumBits    atomic.Uint64 // math.Float64bits of the running sum
+	maxBits    atomic.Uint64 // math.Float64bits of the running max
 }
 
 // Observe records v. Nil-safe no-op; never allocates.
@@ -117,9 +119,26 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sumBits.Load()
 		nw := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sumBits.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
 			return
 		}
 	}
+}
+
+// Max returns the largest observed value; 0 before any observation.
+func (h *Histogram) Max() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
 }
 
 // Count returns the number of observations; 0 for a nil histogram.
@@ -205,6 +224,18 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
+func newHistogram(name, help, labels string, bounds []float64) *Histogram {
+	h := &Histogram{
+		name:   name,
+		help:   help,
+		labels: labels,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
 // Histogram registers (or returns the existing) histogram with the
 // given ascending upper bounds. The bounds slice is copied.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -213,14 +244,52 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	if h, ok := r.hists[name]; ok {
 		return h
 	}
-	h := &Histogram{
-		name:   name,
-		help:   help,
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Uint64, len(bounds)+1),
-	}
+	h := newHistogram(name, help, "", bounds)
 	r.hists[name] = h
 	return h
+}
+
+// A HVec is a fixed family of histograms sharing a name and bounds,
+// distinguished by one string-valued label (e.g. per-stage durations).
+// Slots are pre-registered; At is a nil-safe lookup by label value.
+type HVec struct {
+	values []string
+	hists  []*Histogram
+}
+
+// At returns the histogram for the given label value, or nil (itself a
+// no-op handle) when the vec is nil or the value was not registered.
+func (v *HVec) At(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	for i, val := range v.values {
+		if val == value {
+			return v.hists[i]
+		}
+	}
+	return nil
+}
+
+// HistogramVec registers a fixed family of histograms labelled
+// label=values[i], all sharing bounds. Returns an empty (all-At-nil)
+// vec when values is empty.
+func (r *Registry) HistogramVec(name, help, label string, values []string, bounds []float64) *HVec {
+	v := &HVec{}
+	for _, val := range values {
+		labels := label + `="` + val + `"`
+		key := name + `{` + labels + `}`
+		r.mu.Lock()
+		h, ok := r.hists[key]
+		if !ok {
+			h = newHistogram(name, help, labels, bounds)
+			r.hists[key] = h
+		}
+		r.mu.Unlock()
+		v.values = append(v.values, val)
+		v.hists = append(v.hists, h)
+	}
+	return v
 }
 
 // CounterVec registers a fixed family of n counters labelled
@@ -242,12 +311,108 @@ func (r *Registry) CounterVec(name, help, label string, n int) *Vec {
 	return v
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation within the bucket holding the
+// target rank. The estimate is bounded by the bucket layout: ranks
+// landing in the +Inf overflow bucket report the highest finite bound
+// (the true value is only known to exceed it), and Quantile(1) reports
+// the exact tracked maximum. Returns 0 before any observation or for a
+// nil histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return quantile(q, h.bounds, counts, h.Max())
+}
+
+// quantile is the shared rank-interpolation core for live histograms
+// and snapshots. counts is per-bucket (non-cumulative) with the +Inf
+// overflow last; max is the tracked maximum (used for q == 1 and to cap
+// the overflow bucket's estimate).
+func quantile(q float64, bounds []float64, counts []uint64, max float64) float64 {
+	total := uint64(0)
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(counts) != len(bounds)+1 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q >= 1 {
+		return max
+	}
+	// rank is the (fractional) number of observations at or below the
+	// target quantile; walk the cumulative counts to the bucket holding it.
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i == len(bounds) {
+			// Overflow bucket: the true value exceeds the last finite
+			// bound; the tracked max is the tightest honest answer.
+			if max > 0 {
+				return max
+			}
+			if len(bounds) > 0 {
+				return bounds[len(bounds)-1]
+			}
+			return 0
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		// Interpolate the rank's position within this bucket's span.
+		frac := (rank - float64(cum)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		v := lo + frac*(hi-lo)
+		if max > 0 && v > max {
+			v = max
+		}
+		return v
+	}
+	return max
+}
+
 // HistogramSnapshot is the exported state of one histogram.
 type HistogramSnapshot struct {
 	Count   uint64    `json:"count"`
 	Sum     float64   `json:"sum"`
+	Max     float64   `json:"max,omitempty"`
 	Bounds  []float64 `json:"bounds,omitempty"`
 	Buckets []uint64  `json:"buckets,omitempty"` // per-bucket (non-cumulative), len(Bounds)+1
+}
+
+// Quantile estimates the q-quantile of the snapshot's distribution; see
+// Histogram.Quantile for the interpolation and bounding rules.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	return quantile(q, s.Bounds, s.Buckets, s.Max)
+}
+
+// Mean returns the average observed value; 0 for an empty snapshot.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
 }
 
 // Snapshot is a point-in-time JSON-able copy of every instrument,
@@ -281,6 +446,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		hs := HistogramSnapshot{
 			Count:  h.Count(),
 			Sum:    h.Sum(),
+			Max:    h.Max(),
 			Bounds: append([]float64(nil), h.bounds...),
 		}
 		hs.Buckets = make([]uint64, len(h.counts))
@@ -325,7 +491,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		return counters[i].labels < counters[j].labels
 	})
 	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
-	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	sort.Slice(hists, func(i, j int) bool {
+		if hists[i].name != hists[j].name {
+			return hists[i].name < hists[j].name
+		}
+		return hists[i].labels < hists[j].labels
+	})
 
 	var err error
 	pr := func(format string, args ...any) {
@@ -345,17 +516,31 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		pr("# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)
 		pr("%s %d\n", g.name, g.Load())
 	}
+	lastHeader = ""
 	for _, h := range hists {
-		pr("# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+		if h.name != lastHeader {
+			pr("# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+			lastHeader = h.name
+		}
+		// Vec members carry a label pair that must precede le= inside
+		// the same brace set.
+		prefix := ""
+		if h.labels != "" {
+			prefix = h.labels + ","
+		}
 		cum := uint64(0)
 		for i, b := range h.bounds {
 			cum += h.counts[i].Load()
-			pr("%s_bucket{le=\"%s\"} %d\n", h.name, formatBound(b), cum)
+			pr("%s_bucket{%sle=\"%s\"} %d\n", h.name, prefix, formatBound(b), cum)
 		}
 		cum += h.counts[len(h.bounds)].Load()
-		pr("%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
-		pr("%s_sum %s\n", h.name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
-		pr("%s_count %d\n", h.name, h.Count())
+		pr("%s_bucket{%sle=\"+Inf\"} %d\n", h.name, prefix, cum)
+		suffix := ""
+		if h.labels != "" {
+			suffix = "{" + h.labels + "}"
+		}
+		pr("%s_sum%s %s\n", h.name, suffix, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+		pr("%s_count%s %d\n", h.name, suffix, h.Count())
 	}
 	return err
 }

@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func almost(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", name, got, want, tol)
+	}
+}
+
+func TestQuantileLinearInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", []float64{1, 2, 4, 8})
+	// 10 observations spread uniformly through the (1,2] bucket: the
+	// median rank lands mid-bucket and must interpolate, not snap to a
+	// bound.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.05 + float64(i)*0.09)
+	}
+	almost(t, "p50", h.Quantile(0.5), 1.5, 0.11)
+	almost(t, "p90", h.Quantile(0.9), 1.9, 0.11)
+	if got := h.Quantile(1); got != h.Max() {
+		t.Errorf("Quantile(1) = %g, want tracked max %g", got, h.Max())
+	}
+
+	// Across buckets: 50 in (0,1], 50 in (2,4] — p25 interpolates in
+	// the first bucket, p75 in the third.
+	h2 := r.Histogram("q2", "", []float64{1, 2, 4, 8})
+	for i := 0; i < 50; i++ {
+		h2.Observe(0.5)
+		h2.Observe(3)
+	}
+	almost(t, "p25", h2.Quantile(0.25), 0.5, 0.01)
+	almost(t, "p75", h2.Quantile(0.75), 3.0, 0.01)
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %g, want 0", got)
+	}
+	h := r.Histogram("empty", "", []float64{1, 2})
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram Quantile = %g, want 0", got)
+	}
+
+	// Observations past the last bound land in +Inf: the quantile
+	// reports the tracked max rather than pretending precision.
+	over := r.Histogram("over", "", []float64{1, 2})
+	over.Observe(50)
+	over.Observe(70)
+	if got := over.Quantile(0.99); got != 70 {
+		t.Errorf("overflow Quantile(0.99) = %g, want tracked max 70", got)
+	}
+
+	// A single observation: every quantile is capped by the max, so
+	// nothing reports above the one real value.
+	one := r.Histogram("one", "", []float64{1, 2, 4})
+	one.Observe(1.5)
+	if got := one.Quantile(0.5); got > 1.5 {
+		t.Errorf("single-observation Quantile(0.5) = %g, want <= 1.5", got)
+	}
+}
+
+func TestHistogramMax(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("max", "", []float64{1, 10})
+	if got := h.Max(); got != 0 {
+		t.Errorf("Max before observations = %g, want 0", got)
+	}
+	h.Observe(3)
+	h.Observe(7)
+	h.Observe(2)
+	if got := h.Max(); got != 7 {
+		t.Errorf("Max = %g, want 7", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Max(); got != 0 {
+		t.Errorf("nil Max = %g, want 0", got)
+	}
+}
+
+func TestSnapshotQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("snap", "", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	snap := r.Snapshot()
+	hs := snap.Histograms["snap"]
+	if hs.Max != 1.5 {
+		t.Errorf("snapshot Max = %g, want 1.5", hs.Max)
+	}
+	almost(t, "snapshot p50", hs.Quantile(0.5), 1.5, 0.01)
+	if got := hs.Mean(); got != 1.5 {
+		t.Errorf("snapshot Mean = %g, want 1.5", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("zero snapshot Quantile = %g, want 0", got)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("qsub_stage_seconds", "stage wall time", "stage", []string{"plan", "encode"}, []float64{1, 2})
+	v.At("plan").Observe(0.5)
+	v.At("plan").Observe(0.7)
+	v.At("encode").Observe(1.5)
+	if got := v.At("plan").Count(); got != 2 {
+		t.Errorf("plan count = %d, want 2", got)
+	}
+	if got := v.At("nope"); got != nil {
+		t.Errorf("unregistered label = %v, want nil", got)
+	}
+	var nilV *HVec
+	nilV.At("plan").Observe(1) // must not panic
+
+	// Snapshot keys carry the label suffix.
+	snap := r.Snapshot()
+	if _, ok := snap.Histograms[`qsub_stage_seconds{stage="plan"}`]; !ok {
+		t.Fatalf("snapshot missing labelled histogram key; have %v", keys(snap.Histograms))
+	}
+
+	// Prometheus text merges the stage label with le= and suffixes
+	// _sum/_count, one HELP/TYPE header for the family.
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`qsub_stage_seconds_bucket{stage="plan",le="1"} 2`,
+		`qsub_stage_seconds_bucket{stage="encode",le="+Inf"} 1`,
+		`qsub_stage_seconds_sum{stage="plan"} 1.2`,
+		`qsub_stage_seconds_count{stage="encode"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, text)
+		}
+	}
+	if got := strings.Count(text, "# TYPE qsub_stage_seconds histogram"); got != 1 {
+		t.Errorf("TYPE header appears %d times, want 1", got)
+	}
+}
+
+func keys(m map[string]HistogramSnapshot) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestQuantileObserveZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("alloc", "", LatencyBuckets)
+	h.Observe(0.1)
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.002) }); n != 0 {
+		t.Errorf("Observe with max tracking allocates %v/op, want 0", n)
+	}
+}

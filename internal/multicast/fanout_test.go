@@ -246,3 +246,79 @@ func ExampleNetwork_SetEncoder() {
 	fmt.Println(string(msg.Frame))
 	// Output: frame(seq=1)
 }
+
+// TestPublishClockStampAllocFree pins the timestamp half of the
+// zero-alloc contract: installing a publish clock stamps every message
+// at seq assignment without adding a single allocation, and the stamp
+// reaches subscribers (and the encoder) intact.
+func TestPublishClockStampAllocFree(t *testing.T) {
+	run := func(withClock bool) float64 {
+		net, err := NewNetwork(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stamped int64
+		if withClock {
+			net.SetClock(func() int64 { return 1234567890 })
+		}
+		frame := []byte{1, 2, 3, 4}
+		net.SetEncoder(func(m Message) []byte {
+			stamped = m.PublishedUnixNano
+			return frame
+		})
+		sub, err := net.SubscribeWith(0, 1, DropNewest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := Message{Channel: 0}
+		allocs := testing.AllocsPerRun(100, func() {
+			if err := net.Publish(msg); err != nil {
+				t.Fatal(err)
+			}
+			got := <-sub.C
+			if withClock && got.PublishedUnixNano != 1234567890 {
+				t.Fatalf("delivered stamp %d, want 1234567890", got.PublishedUnixNano)
+			}
+			if !withClock && got.PublishedUnixNano != 0 {
+				t.Fatalf("no clock installed but message stamped %d", got.PublishedUnixNano)
+			}
+		})
+		if withClock && stamped != 1234567890 {
+			t.Fatalf("encoder saw stamp %d, want 1234567890", stamped)
+		}
+		return allocs
+	}
+	base, stamped := run(false), run(true)
+	if stamped != base {
+		t.Fatalf("Publish with clock: %v allocs/op, unstamped %v — stamping must be allocation-free",
+			stamped, base)
+	}
+}
+
+// TestPublishBatchStampsWholeRun pins PublishBatch's single clock read:
+// every message of a batch carries the same stamp.
+func TestPublishBatchStampsWholeRun(t *testing.T) {
+	net, err := NewNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(100)
+	net.SetClock(func() int64 { now++; return now })
+	sub, err := net.Subscribe(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []Message{{Channel: 0}, {Channel: 0}, {Channel: 0}}
+	if err := net.PublishBatch(msgs); err != nil {
+		t.Fatal(err)
+	}
+	first := (<-sub.C).PublishedUnixNano
+	if first == 0 {
+		t.Fatal("batch message unstamped")
+	}
+	for i := 1; i < len(msgs); i++ {
+		if got := (<-sub.C).PublishedUnixNano; got != first {
+			t.Fatalf("batch message %d stamped %d, first was %d — one clock read per batch", i, got, first)
+		}
+	}
+}

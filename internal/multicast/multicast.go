@@ -61,6 +61,14 @@ type Message struct {
 	// fall inside this merged query's footprint; clients drop them from
 	// their accumulated answers (§11 dynamic scenario).
 	Removed []uint64
+	// PublishedUnixNano is the wall-clock publish timestamp, assigned by
+	// the network's clock (see SetClock) together with Seq, so every
+	// subscriber — and the encode-once wire frame — carries the same
+	// stamp and receivers can measure publish→receive latency. Zero when
+	// no clock is installed; the wire encoding omits the field entirely
+	// in that case, keeping the frame bytes identical to the pre-stamp
+	// format.
+	PublishedUnixNano int64
 	// Frame is the encode-once wire frame for this message: an opaque,
 	// ready-to-write byte slice produced by the network's Encoder (see
 	// SetEncoder) exactly once per Publish, after Seq assignment. Every
@@ -215,6 +223,11 @@ type Network struct {
 	// wire frame exactly once per Publish (see SetEncoder).
 	encoder func(Message) []byte
 
+	// nowNano, when set, stamps each published message's
+	// PublishedUnixNano once per Publish/PublishBatch call (see
+	// SetClock).
+	nowNano func() int64
+
 	// onEvict, when set, observes each slow-consumer eviction after the
 	// subscription has been canceled (see SetEvictHandler).
 	onEvict func(*Subscription)
@@ -289,6 +302,28 @@ func (n *Network) SetMetrics(deliveries, dropped, evicted, encodes *metrics.Coun
 // subscribers skip encoding entirely. Call before concurrent publishing;
 // nil uninstalls the hook.
 func (n *Network) SetEncoder(enc func(Message) []byte) { n.encoder = enc }
+
+// SetClock installs the publish timestamp source: each Publish or
+// PublishBatch call reads it once — after sequence assignment, before
+// encoding — and stamps the result into every message of the call, so
+// the encode-once frame carries the timestamp for free. nil (the
+// default) disables stamping, leaving PublishedUnixNano zero and the
+// wire encoding byte-identical to the timestamp-free format. Tests
+// inject a fixed clock to keep published streams deterministic. Call
+// before concurrent publishing.
+func (n *Network) SetClock(nowNano func() int64) { n.nowNano = nowNano }
+
+// CurrentSeq returns the last sequence number assigned on the channel
+// (0 before any publish), letting delivery layers compute how far a
+// session has fallen behind the channel head.
+func (n *Network) CurrentSeq(channel int) uint64 {
+	if channel < 0 || channel >= n.channels {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.seqs[channel]
+}
 
 // SetEvictHandler registers a callback observing slow-consumer
 // evictions. It is called from inside Publish, once per evicted
@@ -396,6 +431,23 @@ func (r *msgRing) close() {
 
 // Channel returns the channel index the subscription listens on.
 func (s *Subscription) Channel() int { return s.channel }
+
+// Depth returns the number of messages currently queued and not yet
+// consumed — the ring length for batch subscriptions, the channel
+// backlog otherwise. It is a racy instantaneous read meant for lag
+// gauges, not for flow control.
+func (s *Subscription) Depth() int {
+	if s == nil {
+		return 0
+	}
+	if s.ring != nil {
+		s.ring.mu.Lock()
+		d := len(s.ring.buf)
+		s.ring.mu.Unlock()
+		return d
+	}
+	return len(s.ch)
+}
 
 // Evicted reports whether the subscription was canceled by the Evict
 // slow-consumer policy (as opposed to an explicit Cancel or network
@@ -642,10 +694,14 @@ func (n *Network) Publish(msg Message) error {
 	}
 	n.mu.Unlock()
 
+	if n.nowNano != nil {
+		msg.PublishedUnixNano = n.nowNano()
+	}
 	if n.encoder != nil && len(targets) > 0 {
 		// Encode once per publish: every subscriber below receives this
 		// same immutable frame. Encoding happens after seq assignment
-		// (the frame carries Seq) and outside the network lock.
+		// and timestamping (the frame carries both) and outside the
+		// network lock.
 		msg.Frame = n.encoder(msg)
 		n.mEncodes.Inc()
 	}
@@ -748,6 +804,15 @@ func (n *Network) PublishBatch(msgs []Message) error {
 		payloads[i] = p
 		sentPayload += p
 		sentHeader += uint64(msgs[i].HeaderBytes())
+	}
+	if n.nowNano != nil {
+		// One clock read stamps the whole run: the batch shares a
+		// publish instant, which is what latency accounting compares
+		// against.
+		now := n.nowNano()
+		for i := range msgs {
+			msgs[i].PublishedUnixNano = now
+		}
 	}
 	if n.encoder != nil && len(targets) > 0 {
 		for i := range msgs {

@@ -17,6 +17,7 @@ import (
 
 	"qsub/internal/client"
 	"qsub/internal/daemon"
+	"qsub/internal/metrics"
 	"qsub/internal/query"
 )
 
@@ -59,6 +60,12 @@ type Config struct {
 	// OnEvent, when set, observes every server-pushed event after the
 	// runtime has processed it.
 	OnEvent func(daemon.Event)
+	// LatencyHist, when set, receives the publish→receive delta of
+	// every timestamped answer frame, in seconds (see
+	// client.SetLatencyHistogram). Sharing one histogram across many
+	// clients is safe — Observe is atomic — and is how the load harness
+	// aggregates fleet-wide quantiles.
+	LatencyHist *metrics.Histogram
 }
 
 // Stats counts the resilience machinery's activity.
@@ -75,6 +82,14 @@ type Stats struct {
 	ResumeRefreshes int
 	// Channel is the most recent channel assignment (-1 before any).
 	Channel int
+	// Frames counts answer frames received across all sessions.
+	Frames int
+	// LastSeq is the highest sequence number seen on the current
+	// channel, zero before any answer.
+	LastSeq uint64
+	// LastFrameUnixNano is the local receive time of the newest answer
+	// frame; now minus this is the session's staleness.
+	LastFrameUnixNano int64
 }
 
 // Client runs daemon sessions until its context ends, extracting answers
@@ -105,12 +120,26 @@ func New(cfg Config) (*Client, error) {
 			return daemon.Dial(addr, clientID)
 		}
 	}
-	return &Client{
+	c := &Client{
 		cfg:     cfg,
 		ext:     client.New(cfg.ClientID, cfg.Queries...),
 		stats:   Stats{Channel: -1},
 		lastSeq: make(map[int]uint64),
-	}, nil
+	}
+	c.ext.SetLatencyHistogram(cfg.LatencyHist)
+	return c, nil
+}
+
+// Staleness returns how long ago the last answer frame arrived, or 0
+// before any frame.
+func (c *Client) Staleness() time.Duration {
+	c.mu.Lock()
+	last := c.stats.LastFrameUnixNano
+	c.mu.Unlock()
+	if last == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - last)
 }
 
 // Extractor exposes the underlying answer extractor.
@@ -259,8 +288,9 @@ func (c *Client) runSession(ctx context.Context, sess Session) error {
 	}
 }
 
-// noteSeq advances the per-channel sequence high-water mark and reports
-// whether a gap (missed message) was detected.
+// noteSeq advances the per-channel sequence high-water mark and the
+// per-session receive bookkeeping, and reports whether a gap (missed
+// message) was detected.
 func (c *Client) noteSeq(channel int, seq uint64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -268,6 +298,9 @@ func (c *Client) noteSeq(channel int, seq uint64) bool {
 	if seq > last {
 		c.lastSeq[channel] = seq
 	}
+	c.stats.Frames++
+	c.stats.LastSeq = c.lastSeq[channel]
+	c.stats.LastFrameUnixNano = time.Now().UnixNano()
 	gap := last != 0 && seq > last+1
 	if gap {
 		c.stats.GapRefreshes++

@@ -12,6 +12,7 @@ import (
 	"qsub/internal/cost"
 	"qsub/internal/daemon"
 	"qsub/internal/geom"
+	"qsub/internal/metrics"
 	"qsub/internal/multicast"
 	"qsub/internal/query"
 	"qsub/internal/relation"
@@ -291,5 +292,71 @@ func TestReconnectResubscribesAndRefreshes(t *testing.T) {
 	}
 	if st.ResumeRefreshes < 1 {
 		t.Fatalf("ResumeRefreshes = %d, want >= 1", st.ResumeRefreshes)
+	}
+}
+
+// TestLatencyHistogramAndStaleness: timestamped answer frames feed the
+// configured latency histogram with receive−publish deltas, and the
+// per-session receive bookkeeping (Frames, LastSeq, Staleness) tracks
+// the newest frame.
+func TestLatencyHistogramAndStaleness(t *testing.T) {
+	stampedAt := time.Now().Add(-50 * time.Millisecond).UnixNano()
+	stamped := answerEvent(0, 1)
+	stamped.Answer.PublishedUnixNano = stampedAt
+	unstamped := answerEvent(0, 2) // pre-timestamp daemon: must not observe
+	sess := &fakeSession{
+		closed: make(chan struct{}),
+		events: []daemon.Event{
+			{Assigned: &wire.Assigned{Channel: 0}},
+			stamped,
+			unstamped,
+		},
+	}
+	hist := metrics.NewRegistry().Histogram("lat", "", metrics.FineLatencyBuckets)
+	seen := make(chan daemon.Event, 16)
+	c, err := New(Config{
+		ClientID:    1,
+		Queries:     []query.Query{query.Range(1, geom.R(0, 0, 10, 10))},
+		MaxAttempts: 1,
+		LatencyHist: hist,
+		Dial:        func(string, int) (Session, error) { return sess, nil },
+		OnEvent:     func(ev daemon.Event) { seen <- ev },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() { runDone <- c.Run(ctx) }()
+	for i := 0; i < 3; i++ {
+		select {
+		case <-seen:
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for scripted events")
+		}
+	}
+	cancel()
+	<-runDone
+
+	if got := hist.Count(); got != 1 {
+		t.Fatalf("latency histogram observed %d frames, want 1 (unstamped frames don't count)", got)
+	}
+	if p := hist.Quantile(0.5); p < 0.050 || p > 10 {
+		t.Errorf("latency p50 %.3fs, want >= the 50ms publish age", p)
+	}
+	st := c.Stats()
+	if st.Frames != 2 || st.LastSeq != 2 {
+		t.Fatalf("stats = %+v, want Frames 2, LastSeq 2", st)
+	}
+	if st.LastFrameUnixNano == 0 {
+		t.Fatal("LastFrameUnixNano never set")
+	}
+	if s := c.Staleness(); s <= 0 || s > time.Minute {
+		t.Fatalf("staleness %s, want a small positive duration", s)
+	}
+	ext := c.Extractor().Stats()
+	if ext.LastPublishedUnixNano != stampedAt || ext.LastHandledUnixNano == 0 {
+		t.Fatalf("extractor stats = %+v, want LastPublishedUnixNano %d", ext, stampedAt)
 	}
 }

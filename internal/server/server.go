@@ -143,6 +143,10 @@ func New(rel *relation.Relation, net *multicast.Network, cfg Config) (*Server, e
 // Relation returns the server's relation (for loading data).
 func (s *Server) Relation() *relation.Relation { return s.rel }
 
+// ShardingEnabled reports whether plans run through the sharded
+// pipeline — the cycle ledger labels plan stages with it.
+func (s *Server) ShardingEnabled() bool { return s.cfg.Sharding.Enabled }
+
 // Subscribe registers queries for a client. Query ids must be unique per
 // client.
 func (s *Server) Subscribe(clientID int, qs ...query.Query) error {

@@ -25,6 +25,10 @@ const (
 	KindSubscribe   Kind = "subscribe"
 	KindUnsubscribe Kind = "unsubscribe"
 	KindDrift       Kind = "drift"
+	// KindCycle is the pipeline-ledger record: one event per RunCycle
+	// correlating the cycle id and replan mode with per-stage wall time
+	// (plan/encode/fanout/write).
+	KindCycle Kind = "cycle"
 )
 
 // Event is one control-plane record. Unused fields are omitted from the
@@ -56,6 +60,15 @@ type Event struct {
 	// Drift fields.
 	Drift  float64 `json:"drift,omitempty"`
 	Replan bool    `json:"replan,omitempty"`
+
+	// Cycle-ledger fields (KindCycle): the cycle id, how the plan was
+	// obtained (cached/incremental/full), and per-stage wall seconds.
+	Cycle         uint64  `json:"cycle,omitempty"`
+	Mode          string  `json:"mode,omitempty"`
+	PlanSeconds   float64 `json:"planSeconds,omitempty"`
+	EncodeSeconds float64 `json:"encodeSeconds,omitempty"`
+	FanoutSeconds float64 `json:"fanoutSeconds,omitempty"`
+	WriteSeconds  float64 `json:"writeSeconds,omitempty"`
 
 	// Metrics is an optional point-in-time counter snapshot attached to
 	// plan and drift events, so traces and the /metrics endpoint

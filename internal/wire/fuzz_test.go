@@ -47,6 +47,9 @@ func FuzzUnmarshalMessage(f *testing.F) {
 		Header:  []multicast.HeaderEntry{{ClientID: 6, QueryIDs: []query.ID{7}}},
 	}
 	f.Add(MarshalMessage(msg))
+	stamped := msg
+	stamped.PublishedUnixNano = 1_754_650_000_123_456_789
+	f.Add(MarshalMessage(stamped))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0x01}, 40))
 	f.Fuzz(func(t *testing.T, data []byte) {

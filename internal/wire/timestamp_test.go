@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"qsub/internal/multicast"
+)
+
+// marshalMessageOldFormat reproduces the pre-timestamp message encoding
+// byte for byte: the byte after Seq is a bare 0/1 delta marker with
+// nothing following it. The compat tests below pin both directions
+// against it — new decoders accept frames from old encoders, and a new
+// encoder with no timestamp emits exactly these bytes for old decoders.
+func marshalMessageOldFormat(m multicast.Message) []byte {
+	e := encoder{}
+	e.u32(uint32(m.Channel))
+	e.u64(m.Seq)
+	if m.Delta {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.u32(uint32(len(m.Tuples)))
+	for _, t := range m.Tuples {
+		e.u64(t.ID)
+		e.f64(t.Pos.X)
+		e.f64(t.Pos.Y)
+		e.bytes(t.Payload)
+	}
+	e.u32(uint32(len(m.Header)))
+	for _, h := range m.Header {
+		e.u64(uint64(int64(h.ClientID)))
+		e.u32(uint32(len(h.QueryIDs)))
+		for _, id := range h.QueryIDs {
+			e.u64(uint64(id))
+		}
+	}
+	e.u32(uint32(len(m.Removed)))
+	for _, id := range m.Removed {
+		e.u64(id)
+	}
+	return e.buf
+}
+
+func TestMessageTimestampRoundTrip(t *testing.T) {
+	m := benchMsg()
+	m.PublishedUnixNano = 1_754_650_000_123_456_789
+	got, err := UnmarshalMessage(MarshalMessage(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PublishedUnixNano != m.PublishedUnixNano {
+		t.Fatalf("timestamp mangled: got %d, want %d", got.PublishedUnixNano, m.PublishedUnixNano)
+	}
+	if !got.Delta || got.Seq != m.Seq || len(got.Tuples) != len(m.Tuples) {
+		t.Fatalf("round trip mangled the message: %+v", got)
+	}
+
+	// The stamped payload is exactly 8 bytes longer than the bare one.
+	bare := m
+	bare.PublishedUnixNano = 0
+	if d := len(MarshalMessage(m)) - len(MarshalMessage(bare)); d != 8 {
+		t.Fatalf("timestamp adds %d bytes, want 8", d)
+	}
+}
+
+func TestMessageOldFormatCompat(t *testing.T) {
+	m := benchMsg()
+
+	// Old encoder → new decoder: decodes cleanly, timestamp reads zero.
+	old := marshalMessageOldFormat(m)
+	got, err := UnmarshalMessage(old)
+	if err != nil {
+		t.Fatalf("old-format frame rejected: %v", err)
+	}
+	if got.PublishedUnixNano != 0 {
+		t.Fatalf("old-format frame grew a timestamp: %d", got.PublishedUnixNano)
+	}
+	if !got.Delta || got.Seq != m.Seq {
+		t.Fatalf("old-format round trip mangled the message: %+v", got)
+	}
+
+	// New encoder without a timestamp → byte-identical to the old
+	// format, so pre-timestamp decoders keep working unmodified.
+	if !bytes.Equal(MarshalMessage(m), old) {
+		t.Fatal("unstamped new encoding differs from the old format")
+	}
+}
+
+func TestMessageUnknownFlagBitsRejected(t *testing.T) {
+	m := benchMsg()
+	buf := MarshalMessage(m)
+	// The flag byte sits after the u32 channel and u64 seq.
+	buf[12] |= 1 << 2
+	if _, err := UnmarshalMessage(buf); err == nil || !strings.Contains(err.Error(), "unknown message flag") {
+		t.Fatalf("unknown flag bit accepted: err=%v", err)
+	}
+}
+
+func TestMessageZeroTimestampNonCanonical(t *testing.T) {
+	m := benchMsg()
+	m.PublishedUnixNano = 1
+	buf := MarshalMessage(m)
+	// Zero out the timestamp field (8 bytes after the flag byte) while
+	// leaving the flag bit set: decoders must reject the non-canonical
+	// spelling rather than silently fold it into the omitted form.
+	binary.BigEndian.PutUint64(buf[13:21], 0)
+	if _, err := UnmarshalMessage(buf); err == nil {
+		t.Fatal("non-canonical zero timestamp accepted")
+	}
+}
+
+// TestMarshalMessageAppendTimestampZeroAlloc extends the zero-alloc pin
+// to stamped messages: the 8 extra bytes ride the same reused buffer.
+func TestMarshalMessageAppendTimestampZeroAlloc(t *testing.T) {
+	m := benchMsg()
+	m.PublishedUnixNano = 1_754_650_000_123_456_789
+	buf := MarshalMessageAppend(nil, m)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = MarshalMessageAppend(buf[:0], m)
+	})
+	if allocs != 0 {
+		t.Fatalf("MarshalMessageAppend with timestamp: %v allocs/op, want 0", allocs)
+	}
+}

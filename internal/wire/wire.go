@@ -450,6 +450,22 @@ func MarshalMessage(m multicast.Message) []byte {
 	return MarshalMessageAppend(nil, m)
 }
 
+// Message flag bits. The byte after Seq started life as a bare 0/1
+// delta marker; it is now a bitmask, and decoders written before a bit
+// existed reject frames carrying it rather than misparse the bytes that
+// follow (the strict unknown-bit check below). Frames with no optional
+// field set encode byte-identically to the original format.
+const (
+	// flagDelta marks continuous-mode messages carrying only tuples
+	// inserted since the previous cycle.
+	flagDelta uint8 = 1 << 0
+	// flagTimestamp marks frames carrying a publish timestamp: a u64
+	// UnixNano immediately follows the flag byte.
+	flagTimestamp uint8 = 1 << 1
+
+	flagKnown = flagDelta | flagTimestamp
+)
+
 // MarshalMessageAppend appends the encoding of a multicast answer message
 // to buf and returns the extended slice. The returned slice aliases buf's
 // backing array (when capacity allows), so steady-state senders can reuse
@@ -460,10 +476,16 @@ func MarshalMessageAppend(buf []byte, m multicast.Message) []byte {
 	e := encoder{buf: buf}
 	e.u32(uint32(m.Channel))
 	e.u64(m.Seq)
+	var flag uint8
 	if m.Delta {
-		e.u8(1)
-	} else {
-		e.u8(0)
+		flag |= flagDelta
+	}
+	if m.PublishedUnixNano != 0 {
+		flag |= flagTimestamp
+	}
+	e.u8(flag)
+	if m.PublishedUnixNano != 0 {
+		e.u64(uint64(m.PublishedUnixNano))
 	}
 	e.u32(uint32(len(m.Tuples)))
 	for _, t := range m.Tuples {
@@ -493,13 +515,18 @@ func UnmarshalMessage(b []byte) (multicast.Message, error) {
 	var m multicast.Message
 	m.Channel = int(d.u32())
 	m.Seq = d.u64()
-	switch flag := d.u8(); flag {
-	case 0:
-	case 1:
-		m.Delta = true
-	default:
-		if d.err == nil {
-			d.err = fmt.Errorf("wire: invalid delta flag %d", flag)
+	flag := d.u8()
+	if flag&^flagKnown != 0 && d.err == nil {
+		d.err = fmt.Errorf("wire: unknown message flag bits %#x", flag&^flagKnown)
+	}
+	m.Delta = flag&flagDelta != 0
+	if flag&flagTimestamp != 0 {
+		m.PublishedUnixNano = int64(d.u64())
+		if m.PublishedUnixNano == 0 && d.err == nil {
+			// A zero stamp is encoded by omitting the field; accepting
+			// both spellings would break the canonical-encoding
+			// invariant the fuzzers pin.
+			d.err = errors.New("wire: non-canonical zero publish timestamp")
 		}
 	}
 	nTuples := d.u32()
