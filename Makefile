@@ -67,10 +67,13 @@ bench:
 # 10k-session measurement (that lives in `make bench-save`). The second
 # run gates end-to-end latency: publish→receive p99 must be nonzero
 # (frames carried timestamps) and under a deliberately generous 2s
-# ceiling — a sanity floor, not a performance target.
+# ceiling — a sanity floor, not a performance target. The third run is
+# the relay smoke leg: one root → 2 relays → 500 sessions, exercising
+# the hierarchical tier's exact-delivery cross-checks end to end.
 loadtest:
 	$(GO) run ./cmd/qsubload -sessions 500 -channels 8 -cycles 2 -mode both
 	$(GO) run ./cmd/qsubload -sessions 500 -channels 8 -cycles 2 -latency -assert-p99 2s
+	$(GO) run ./cmd/qsubload -sessions 500 -channels 8 -cycles 2 -relays 2
 
 # Runs the solver-engine, channel-allocation and dissemination-engine
 # benchmarks and records them as JSON for committing alongside the code
@@ -103,6 +106,7 @@ bench-save:
 		-benchmem -benchtime 2x . \
 		| $(GO) run ./cmd/benchjson -o BENCH_solvers_scale.json
 	{ $(GO) run ./cmd/qsubload -sessions 2000 -channels 16 -cycles 3 -mode both -latency; \
+	  $(GO) run ./cmd/qsubload -sessions 2000 -channels 16 -cycles 3 -relays 2 -latency; \
 	  $(GO) run ./cmd/qsubload -sessions 10000 -channels 64 -cycles 3 -timeout 10m -mode both -latency; } \
 		> /tmp/qsubload-fanout.txt
 	grep '^BenchmarkFanout' /tmp/qsubload-fanout.txt \

@@ -7,6 +7,14 @@
 //	qsubd -listen :7070 -channels 3 -tuples 20000 -period 2s
 //	qsubd -listen :7070 -delta          # ship per-period deltas (§11)
 //	qsubd -listen :7070 -admin :7071    # expose /metrics, /statusz, pprof
+//
+// With -upstream the process runs as a relay tier instead of a root
+// daemon: it subscribes to the upstream daemon's answer channels as one
+// privileged feed session and re-fans the shared frames out verbatim to
+// its own clients — no database, no planning, byte-identical delivery:
+//
+//	qsubd -upstream root:7070 -listen :7080 -relay-id 1000000
+//	qsubd -upstream root:7070 -listen :7080 -relay-channels 0,2,5
 package main
 
 import (
@@ -54,6 +62,10 @@ func main() {
 		budget    = flag.Duration("budget", 0, "anytime planning budget per cycle; the solvers return their best-so-far plan at the deadline (0 = unlimited)")
 		neighbors = flag.Int("neighbors", 0, "prune merge candidates to each query's k nearest Z-order neighbors (0 = exact full table)")
 
+		upstream      = flag.String("upstream", "", "run as a relay tier feeding from this upstream daemon (or relay) address instead of serving a database")
+		relayID       = flag.Int("relay-id", 1<<30, "client id the relay introduces its upstream feed session with (shares the client id space)")
+		relayChannels = flag.String("relay-channels", "", "comma-separated channel numbers to subscribe upstream (empty = all channels)")
+
 		perSession = flag.Bool("per-session-encode", false, "disable the encode-once fan-out fabric and re-encode every message per receiving session (ablation/debug)")
 		noStamps   = flag.Bool("no-timestamps", false, "do not stamp answer frames with a publish timestamp (reverts to the pre-timestamp wire format, disabling client latency tracking)")
 		readIdle   = flag.Duration("read-idle", 5*time.Minute, "drop a session that sends no frame for this long (0 disables)")
@@ -66,6 +78,19 @@ func main() {
 	policy, err := multicast.ParsePolicy(*slowPolicy)
 	if err != nil {
 		log.Fatalf("qsubd: %v", err)
+	}
+
+	if *upstream != "" {
+		runRelay(relayArgs{
+			upstream:  *upstream,
+			relayID:   *relayID,
+			channels:  *relayChannels,
+			listen:    *listen,
+			admin:     *admin,
+			writeTO:   *writeTO,
+			subBuffer: *subBuffer,
+		})
+		return
 	}
 
 	wl := workload.DefaultConfig()

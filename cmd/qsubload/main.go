@@ -13,6 +13,7 @@
 //	qsubload -sessions 10000 -channels 64            # shared-frame fabric
 //	qsubload -sessions 10000 -mode both              # shared + ablation, report speedup
 //	qsubload -sessions 500 -split=false -mode ablation
+//	qsubload -sessions 2000 -relays 2                # two-tier: root → 2 relays → sessions
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 		channels  = flag.Int("channels", 64, "multicast channels")
 		cycles    = flag.Int("cycles", 3, "measured delta cycles after the bootstrap cycle")
 		mode      = flag.String("mode", "shared", "delivery path under test: shared, ablation (per-session encode) or both")
+		relays    = flag.Int("relays", 0, "insert a relay tier of this many relays between the daemon and the sessions (0 = sessions dial the daemon directly)")
 		split     = flag.Bool("split", true, "run the daemon in a child process (halves the per-process fd load)")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "per-phase timeout")
 		verbose   = flag.Bool("v", false, "log harness progress to stderr")
@@ -44,10 +46,14 @@ func main() {
 	)
 	flag.Parse()
 
+	// The relay tier always runs in the driver half: relays are pure
+	// fan-out, so they live with the sessions they feed and the -serve
+	// child stays a plain root daemon.
 	cfg := loadtest.Config{
 		Sessions: *sessions,
 		Channels: *channels,
 		Cycles:   *cycles,
+		Relays:   *relays,
 		Timeout:  *timeout,
 	}
 	if *verbose {

@@ -34,19 +34,41 @@ func render(prev, cur *daemon.Status, elapsed time.Duration, topN int) string {
 		fmt.Fprintf(&b, "   plan: %d queries → %d sets (cost %.0f, unmerged %.0f)",
 			p.Queries, p.MergedSets, p.EstimatedCost, p.InitialCost)
 	}
-	b.WriteString("\n\n")
+	b.WriteString("\n")
+	if ri := cur.Relay; ri != nil {
+		state := "connected"
+		if !ri.Connected {
+			state = "DISCONNECTED"
+		}
+		fmt.Fprintf(&b, "relay hop %d   upstream %s (%s)   clients %d   reconnects %d\n",
+			ri.Hop, ri.Upstream, state, ri.Clients, ri.Reconnects)
+	}
+	b.WriteString("\n")
 
 	// Rates: counter deltas against the previous poll.
 	if prev != nil && prev.Metrics != nil && cur.Metrics != nil && elapsed > 0 {
 		rate := func(name string) float64 {
-			d := cur.Metrics.Counters[name] - prev.Metrics.Counters[name]
-			return float64(d) / elapsed.Seconds()
+			c, p := cur.Metrics.Counters[name], prev.Metrics.Counters[name]
+			if c < p {
+				// The counters are uint64 and only ever increase, so a
+				// shrinking value means the daemon restarted between
+				// polls and reset to zero — not a wrap back from 2^64.
+				// Rate the restarted counter from zero instead of
+				// underflowing to ~1.8e19/s.
+				p = 0
+			}
+			return float64(c-p) / elapsed.Seconds()
 		}
 		fmt.Fprintf(&b, "throughput   %8.1f frames/s   %8.1f deliveries/s   %s/s   %.2f cycles/s\n",
 			rate("qsub_fanout_frames_written_total"),
 			rate("qsub_fanout_deliveries_total"),
 			byteRate(rate("qsub_fanout_bytes_total")),
 			cycleRate(prev, cur, elapsed))
+		if cur.Relay != nil {
+			fmt.Fprintf(&b, "relay ingest %8.1f frames/s   %s/s upstream\n",
+				rate("qsub_relay_frames_total"),
+				byteRate(rate("qsub_relay_bytes_total")))
+		}
 	}
 
 	// Stage breakdown from the cycle-stage histogram vec.
@@ -125,8 +147,14 @@ func cycleRate(prev, cur *daemon.Status, elapsed time.Duration) float64 {
 	if len(prev.RecentCycles) == 0 || len(cur.RecentCycles) == 0 {
 		return 0
 	}
-	d := cur.RecentCycles[len(cur.RecentCycles)-1].Cycle - prev.RecentCycles[len(prev.RecentCycles)-1].Cycle
-	return float64(d) / elapsed.Seconds()
+	c := cur.RecentCycles[len(cur.RecentCycles)-1].Cycle
+	p := prev.RecentCycles[len(prev.RecentCycles)-1].Cycle
+	if c < p {
+		// Ledger ordinals restart at 1 after a daemon restart; clamp the
+		// uint64 delta instead of underflowing.
+		p = 0
+	}
+	return float64(c-p) / elapsed.Seconds()
 }
 
 // secs formats a duration given in (possibly fractional) seconds.

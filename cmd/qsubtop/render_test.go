@@ -112,3 +112,69 @@ func TestRenderPendingWrite(t *testing.T) {
 		t.Errorf("pending write stage not marked\n---\n%s", out)
 	}
 }
+
+// TestRenderRelayStatus pins the relay stanza: pointed at a relay tier,
+// qsubtop shows the upstream link and the ingest rate next to the
+// downstream fan-out throughput.
+func TestRenderRelayStatus(t *testing.T) {
+	fixture := func(frames uint64) *daemon.Status {
+		st := statusFixture(0, frames)
+		st.Plan = nil
+		st.RecentCycles = nil
+		st.Relay = &daemon.RelayInfo{
+			Upstream:   "10.0.0.1:7070",
+			Hop:        2,
+			Connected:  true,
+			Reconnects: 3,
+			Channels:   8,
+			Clients:    42,
+		}
+		return st
+	}
+	prev, cur := fixture(100), fixture(300)
+	// Advance the current sample's ingest counters directly: 200 frames
+	// over the 2s window → 100/s.
+	cur.Metrics.Counters["qsub_relay_frames_total"] = 200
+	cur.Metrics.Counters["qsub_relay_bytes_total"] = 20000
+	prev.Metrics.Counters["qsub_relay_frames_total"] = 0
+	prev.Metrics.Counters["qsub_relay_bytes_total"] = 0
+
+	out := render(prev, cur, 2*time.Second, 10)
+	for _, want := range []string{
+		"relay hop 2   upstream 10.0.0.1:7070 (connected)   clients 42   reconnects 3",
+		"relay ingest",
+		"100.0 frames/s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("relay render missing %q\n---\n%s", want, out)
+		}
+	}
+
+	cur.Relay.Connected = false
+	out = render(nil, cur, 0, 10)
+	if !strings.Contains(out, "(DISCONNECTED)") {
+		t.Errorf("disconnected relay not flagged\n---\n%s", out)
+	}
+}
+
+func TestRenderAcrossDaemonRestart(t *testing.T) {
+	// The daemon restarted between polls: every counter and the ledger
+	// ordinal reset, so the current sample is *smaller* than the
+	// previous one. The uint64 deltas must clamp to "rate from zero",
+	// never underflow to ~1.8e19/s.
+	prev := statusFixture(40, 3000)
+	cur := statusFixture(2, 100)
+	out := render(prev, cur, 2*time.Second, 10)
+
+	if strings.Contains(out, "e+19") || strings.Contains(out, "e+18") {
+		t.Errorf("restart render underflowed a counter delta\n---\n%s", out)
+	}
+	for _, want := range []string{
+		"50.0 frames/s", // (100-0)/2s, rated from the reset counter alone
+		"1.00 cycles/s", // ledger ordinal 0→2 over 2s
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("restart render missing %q\n---\n%s", want, out)
+		}
+	}
+}

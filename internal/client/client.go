@@ -94,8 +94,10 @@ type Client struct {
 	mKept     *metrics.Counter
 	mFiltered *metrics.Counter
 	// Optional publish→Handle latency histogram (see
-	// SetLatencyHistogram).
-	mLatency *metrics.Histogram
+	// SetLatencyHistogram) and the clamp counter for negative
+	// cross-clock deltas (see SetClockSkewCounter).
+	mLatency   *metrics.Histogram
+	mClockSkew *metrics.Counter
 }
 
 // New creates a client with the given id and subscription queries.
@@ -132,6 +134,18 @@ func (c *Client) SetLatencyHistogram(h *metrics.Histogram) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.mLatency = h
+}
+
+// SetClockSkewCounter attaches the counter incremented whenever a
+// timestamped frame's publish→receive delta comes out negative and is
+// clamped to zero before entering the latency histogram. Negative
+// deltas mean the publisher's clock runs ahead of the receiver's —
+// expected once frames cross a relay into another clock domain. The
+// counter is nil-safe.
+func (c *Client) SetClockSkewCounter(ctr *metrics.Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mClockSkew = ctr
 }
 
 // find returns the index of the entry for the query id, or -1.
@@ -208,7 +222,17 @@ func (c *Client) Handle(msg multicast.Message) {
 		c.stats.LastPublishedUnixNano = msg.PublishedUnixNano
 		c.stats.LastHandledUnixNano = now
 		if c.mLatency != nil {
-			c.mLatency.Observe(float64(now-msg.PublishedUnixNano) / 1e9)
+			// Across a relay the publisher and receiver run on different
+			// clocks, so the delta can come out negative; a negative
+			// observation would land in bucket 0 and drive the
+			// histogram's Sum (and thus the mean) negative. Clamp to
+			// zero and count the clamp instead.
+			delta := float64(now-msg.PublishedUnixNano) / 1e9
+			if delta < 0 {
+				delta = 0
+				c.mClockSkew.Inc()
+			}
+			c.mLatency.Observe(delta)
 		}
 	}
 

@@ -50,8 +50,30 @@ type Status struct {
 	Laggards []SessionLag `json:"laggards,omitempty"`
 	// Build identifies the running binary.
 	Build *BuildInfo `json:"build,omitempty"`
+	// Relay describes this process's upstream link when it runs as a
+	// relay tier (see internal/relay); nil on a root daemon.
+	Relay *RelayInfo `json:"relay,omitempty"`
 	// Metrics is the full registry snapshot.
 	Metrics *metrics.Snapshot `json:"metrics"`
+}
+
+// RelayInfo is the relay stanza of /statusz: the upstream link a relay
+// process re-fans frames from.
+type RelayInfo struct {
+	// Upstream is the upstream daemon (or relay) address.
+	Upstream string `json:"upstream"`
+	// Hop is this process's depth below the root (root = 0, first relay
+	// tier = 1, ...); 0 until the first RelayAck.
+	Hop int `json:"hop"`
+	// Connected reports whether the upstream session is currently up.
+	Connected bool `json:"connected"`
+	// Reconnects counts upstream sessions re-established after the
+	// first.
+	Reconnects uint64 `json:"reconnects"`
+	// Channels is the number of channels subscribed upstream.
+	Channels int `json:"channels"`
+	// Clients is the number of downstream client routes registered.
+	Clients int `json:"clients"`
 }
 
 // statusLaggards bounds the laggard list embedded in /statusz.

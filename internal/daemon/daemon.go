@@ -59,6 +59,12 @@ type Daemon struct {
 	sessions map[int]*session
 	closed   bool
 
+	// relayMu guards the downstream-client routing table: clients that
+	// subscribed through a relay session, keyed by their global id (see
+	// relay.go).
+	relayMu      sync.Mutex
+	relayClients map[int]*relayClient
+
 	planMu       sync.Mutex
 	cycle        *server.Cycle
 	dirty        bool
@@ -134,6 +140,8 @@ type session struct {
 	sub     *multicast.Subscription // current channel attachment
 	fwdDone chan struct{}           // closed when the current forwarder exits
 	queries map[query.ID]struct{}   // query ids this session registered
+	relay   bool                    // upgraded into a relay feed (see relay.go)
+	feeds   []*relayFeed            // relay-mode channel attachments
 	gone    bool                    // dropped or superseded; bind must not attach
 
 	// Lag bookkeeping, updated lock-free by the forwarder after each
@@ -144,9 +152,11 @@ type session struct {
 	lastWriteNano atomic.Int64
 }
 
-// noteWrite records a successful frame write for lag accounting.
-func (s *session) noteWrite(nowNano int64, seq uint64) {
-	s.lastSeq.Store(seq)
+// noteWrite records a successful frame write for lag accounting. track
+// is the sequence watermark the write advances: the session's own for a
+// direct client, the feed's for one of a relay session's channel feeds.
+func (s *session) noteWrite(track *atomic.Uint64, nowNano int64, seq uint64) {
+	track.Store(seq)
 	s.lastWriteNano.Store(nowNano)
 }
 
@@ -174,19 +184,41 @@ func (s *session) untrackQuery(id query.ID) {
 
 // takeTeardown flips the session into the gone state and hands the
 // caller everything that needs releasing: the current subscription, the
-// forwarder join channel and the tracked query ids.
-func (s *session) takeTeardown() (sub *multicast.Subscription, fwdDone chan struct{}, ids []query.ID) {
+// forwarder join channel, the relay channel feeds and the tracked query
+// ids.
+func (s *session) takeTeardown() (sub *multicast.Subscription, fwdDone chan struct{}, feeds []*relayFeed, ids []query.ID) {
 	s.mu.Lock()
 	s.gone = true
 	sub, s.sub = s.sub, nil
 	fwdDone, s.fwdDone = s.fwdDone, nil
+	feeds, s.feeds = s.feeds, nil
 	ids = make([]query.ID, 0, len(s.queries))
 	for id := range s.queries {
 		ids = append(ids, id)
 	}
 	s.queries = nil
 	s.mu.Unlock()
-	return sub, fwdDone, ids
+	return sub, fwdDone, feeds, ids
+}
+
+// releaseTeardown cancels and joins everything takeTeardown returned
+// that is attached to the delivery layer: subscriptions are canceled,
+// the connection is closed (unblocking forwarders stuck in writes), and
+// every forwarder is joined.
+func releaseTeardown(conn net.Conn, sub *multicast.Subscription, fwdDone chan struct{}, feeds []*relayFeed) {
+	if sub != nil {
+		sub.Cancel()
+	}
+	for _, f := range feeds {
+		f.sub.Cancel()
+	}
+	conn.Close()
+	if fwdDone != nil {
+		<-fwdDone
+	}
+	for _, f := range feeds {
+		<-f.done
+	}
 }
 
 // New creates a daemon over a relation with the given channel count and
@@ -207,10 +239,11 @@ func New(rel *relation.Relation, channels int, cfg server.Config) (*Daemon, erro
 		return nil, err
 	}
 	return &Daemon{
-		srv:      srv,
-		net:      mnet,
-		metrics:  cfg.Metrics,
-		sessions: make(map[int]*session),
+		srv:          srv,
+		net:          mnet,
+		metrics:      cfg.Metrics,
+		sessions:     make(map[int]*session),
+		relayClients: make(map[int]*relayClient),
 
 		WriteTimeout:     DefaultWriteTimeout,
 		SubscriberBuffer: DefaultSubscriberBuffer,
@@ -378,6 +411,15 @@ func (d *Daemon) handle(conn net.Conn) error {
 				d.record(trace.Event{Kind: trace.KindUnsubscribe,
 					ClientID: sess.clientID, QueryID: uint64(unsub.ID)})
 			}
+		case wire.TypeRelaySub:
+			// The session upgrades into a relay feed: it stops speaking
+			// the query protocol and instead receives every answer frame
+			// of its channel set for downstream re-fan-out (relay.go).
+			rs, err := wire.UnmarshalRelaySub(payload)
+			if err != nil {
+				return err
+			}
+			return d.handleRelay(sess, rs)
 		case wire.TypeReady:
 			// Ready is a synchronization hint: clients send it after
 			// their subscriptions so the operator (or test) knows a
@@ -402,20 +444,15 @@ func (d *Daemon) handle(conn net.Conn) error {
 // attachment, close its connection (unblocking any in-flight write),
 // join its forwarder and release its queries.
 func (d *Daemon) supersede(old *session) {
-	sub, fwdDone, ids := old.takeTeardown()
-	if sub != nil {
-		sub.Cancel()
-	}
-	old.conn.Close()
-	if fwdDone != nil {
-		<-fwdDone
-	}
+	sub, fwdDone, feeds, ids := old.takeTeardown()
+	releaseTeardown(old.conn, sub, fwdDone, feeds)
 	for _, id := range ids {
 		d.srv.Unsubscribe(old.clientID, id)
 	}
 	if len(ids) > 0 {
 		d.markDirty()
 	}
+	d.releaseRelayClients(old)
 	d.metrics.SessionsSuperseded.Inc()
 	d.logf("daemon: client %d superseded by a new connection", old.clientID)
 }
@@ -431,20 +468,15 @@ func (d *Daemon) dropSession(sess *session) {
 	}
 	d.metrics.SessionsConnected.Set(int64(len(d.sessions)))
 	d.mu.Unlock()
-	sub, fwdDone, ids := sess.takeTeardown()
-	if sub != nil {
-		sub.Cancel()
-	}
-	sess.conn.Close() // unblock a forwarder stuck writing
-	if fwdDone != nil {
-		<-fwdDone
-	}
+	sub, fwdDone, feeds, ids := sess.takeTeardown()
+	releaseTeardown(sess.conn, sub, fwdDone, feeds)
 	for _, id := range ids {
 		d.srv.Unsubscribe(sess.clientID, id)
 	}
 	if len(ids) > 0 {
 		d.markDirty()
 	}
+	d.releaseRelayClients(sess)
 }
 
 // record emits one trace event when tracing is enabled.
@@ -564,6 +596,27 @@ func (d *Daemon) RunCycle(delta bool) (server.Report, error) {
 				Channel:       ch,
 				EstimatedCost: cy.EstimatedCost,
 				InitialCost:   cy.InitialCost,
+			}))
+		}
+		// Clients subscribed through a relay have no multicast binding
+		// here — the relay's channel feeds carry their frames — but they
+		// still need their channel assignment. It travels wrapped on the
+		// owning relay session, ahead of this cycle's answer frames on
+		// the same TCP stream, so the relay rebinds the client before
+		// any frame of the new assignment arrives.
+		for _, rt := range d.relayRoutes() {
+			ch, ok := cy.ClientChannel[rt.id]
+			if !ok {
+				continue
+			}
+			rt.owner.send(wire.TypeRelayCtl, wire.MarshalRelayCtl(wire.RelayCtl{
+				ClientID: rt.id,
+				Inner:    wire.TypeAssigned,
+				Payload: wire.MarshalAssigned(wire.Assigned{
+					Channel:       ch,
+					EstimatedCost: cy.EstimatedCost,
+					InitialCost:   cy.InitialCost,
+				}),
 			}))
 		}
 	}
@@ -691,7 +744,7 @@ func (d *Daemon) bind(sess *session, channel int) error {
 	go func() {
 		defer d.wg.Done()
 		defer close(done)
-		werr := d.forward(sess, sub)
+		werr := d.forward(sess, sub, &sess.lastSeq)
 		if werr != nil {
 			sub.Cancel()
 		}
@@ -722,11 +775,11 @@ func (d *Daemon) bind(sess *session, channel int) error {
 // socket until the subscription ends (cancel, eviction, shutdown) or a
 // write fails. It returns the write error, if any; the caller owns
 // cancellation and teardown.
-func (d *Daemon) forward(sess *session, sub *multicast.Subscription) error {
+func (d *Daemon) forward(sess *session, sub *multicast.Subscription, track *atomic.Uint64) error {
 	if d.PerSessionEncode {
-		return d.forwardPerSession(sess, sub)
+		return d.forwardPerSession(sess, sub, track)
 	}
-	return d.forwardShared(sess, sub)
+	return d.forwardShared(sess, sub, track)
 }
 
 // forwardPerSession is the ablation path: re-marshal every message in
@@ -734,7 +787,7 @@ func (d *Daemon) forward(sess *session, sub *multicast.Subscription) error {
 // forwarder — send finishes the write before returning, so the buffer is
 // reusable and steady state allocates nothing (but costs one encode and
 // one frame-sized write per subscriber per message).
-func (d *Daemon) forwardPerSession(sess *session, sub *multicast.Subscription) error {
+func (d *Daemon) forwardPerSession(sess *session, sub *multicast.Subscription, track *atomic.Uint64) error {
 	var buf []byte
 	for msg := range sub.C {
 		buf = wire.MarshalMessageAppend(buf[:0], msg)
@@ -745,7 +798,7 @@ func (d *Daemon) forwardPerSession(sess *session, sub *multicast.Subscription) e
 		}
 		d.metrics.FanoutFramesWritten.Inc()
 		d.metrics.FanoutFlushes.Inc()
-		sess.noteWrite(d.clockNano(), msg.Seq)
+		sess.noteWrite(track, d.clockNano(), msg.Seq)
 	}
 	return nil
 }
@@ -760,7 +813,7 @@ func (d *Daemon) forwardPerSession(sess *session, sub *multicast.Subscription) e
 // per frame. The batch only ever holds aliases; frame bytes are never
 // copied or mutated here (net.Buffers consumes the slice headers, not
 // the shared arrays they point to).
-func (d *Daemon) forwardShared(sess *session, sub *multicast.Subscription) error {
+func (d *Daemon) forwardShared(sess *session, sub *multicast.Subscription, track *atomic.Uint64) error {
 	batch := make(net.Buffers, 0, maxFanoutBatch)
 	var fbuf []byte // frames for messages published before the encoder was installed
 	for {
@@ -799,7 +852,7 @@ func (d *Daemon) forwardShared(sess *session, sub *multicast.Subscription) error
 			}
 			d.metrics.FanoutFramesWritten.Add(uint64(len(batch)))
 			d.metrics.FanoutFlushes.Inc()
-			sess.noteWrite(d.clockNano(), lastSeq)
+			sess.noteWrite(track, d.clockNano(), lastSeq)
 		}
 		if !ok {
 			return nil
@@ -863,14 +916,20 @@ func (d *Daemon) shutdown(graceful bool) {
 	if graceful {
 		for _, s := range sessions {
 			s.mu.Lock()
-			sub, done := s.sub, s.fwdDone
-			s.sub, s.fwdDone = nil, nil
+			sub, done, feeds := s.sub, s.fwdDone, s.feeds
+			s.sub, s.fwdDone, s.feeds = nil, nil, nil
 			s.mu.Unlock()
 			if sub != nil {
 				sub.Cancel() // forwarder drains buffered answers, then exits
 			}
+			for _, f := range feeds {
+				f.sub.Cancel()
+			}
 			if done != nil {
 				<-done
+			}
+			for _, f := range feeds {
+				<-f.done
 			}
 			s.send(wire.TypeBye, nil) // best-effort farewell
 		}

@@ -36,6 +36,7 @@ func (d *Daemon) sessionLags(nowNano int64) []SessionLag {
 	for _, s := range sessions {
 		s.mu.Lock()
 		sub := s.sub
+		feeds := s.feeds
 		s.mu.Unlock()
 		lag := SessionLag{ClientID: s.clientID, Channel: -1}
 		if sub != nil {
@@ -44,6 +45,22 @@ func (d *Daemon) sessionLags(nowNano int64) []SessionLag {
 			head := d.net.CurrentSeq(lag.Channel)
 			if last := s.lastSeq.Load(); head > last {
 				lag.SeqLag = head - last
+			}
+		}
+		// A relay session has one feed per channel; its lag entry is the
+		// worst feed, so a relay that stalls on any channel surfaces just
+		// like a slow direct session.
+		for _, f := range feeds {
+			ch := f.sub.Channel()
+			seqLag := uint64(0)
+			head := d.net.CurrentSeq(ch)
+			if last := f.lastSeq.Load(); head > last {
+				seqLag = head - last
+			}
+			if seqLag > lag.SeqLag || (seqLag == lag.SeqLag && f.sub.Depth() > lag.QueueDepth) {
+				lag.Channel = ch
+				lag.SeqLag = seqLag
+				lag.QueueDepth = f.sub.Depth()
 			}
 		}
 		if last := s.lastWriteNano.Load(); last != 0 && nowNano > last {

@@ -56,6 +56,7 @@ import (
 	"qsub/internal/netclient"
 	"qsub/internal/query"
 	"qsub/internal/relation"
+	"qsub/internal/relay"
 	"qsub/internal/server"
 	"qsub/internal/shard"
 )
@@ -76,6 +77,14 @@ type Config struct {
 	// PerSessionEncode selects the ablation daemon (see
 	// daemon.PerSessionEncode) instead of the shared-frame fabric.
 	PerSessionEncode bool
+	// Relays, when positive, inserts a relay tier between the daemon and
+	// the sessions: that many internal/relay instances run in the driver
+	// process, each feeding from the daemon as one privileged session,
+	// and the netclient sessions dial the relays round-robin instead of
+	// the daemon. The root then writes each message once per relay
+	// rather than once per session — the hierarchical fan-out claim —
+	// and the harness cross-checks both tiers' counters exactly.
+	Relays int
 	// SubscriberBuffer overrides the per-session delivery queue depth;
 	// 0 derives 2·sessions/channels + 64, enough that a full lockstep
 	// cycle never blocks the publisher for long.
@@ -303,6 +312,11 @@ func (s *Server) Close() error {
 type Result struct {
 	Sessions, Channels, Cycles int
 	PerSessionEncode           bool
+	// Relays is the relay-tier width (0 = sessions dialed the daemon
+	// directly). With relays, Wall and the percentiles cover the full
+	// two-hop delivery, and the bench name gains a /relays=N segment so
+	// relay rows never compare against direct-deployment baselines.
+	Relays int
 
 	// FramesPerCycle is the exact per-cycle delivery volume
 	// (Σ messages(ch) × sessions(ch) over channels).
@@ -359,13 +373,24 @@ func (r Result) Mode() string {
 	return "shared"
 }
 
+// benchName builds the bench identifier shared by BenchLine and
+// LatencyBenchLine. Relay runs get their own /relays=N name segment so
+// benchjson never compares them against direct-deployment baselines.
+func (r Result) benchName(prefix string) string {
+	name := fmt.Sprintf("%s/sessions=%d/channels=%d/mode=%s", prefix, r.Sessions, r.Channels, r.Mode())
+	if r.Relays > 0 {
+		name += fmt.Sprintf("/relays=%d", r.Relays)
+	}
+	return name
+}
+
 // BenchLine formats the result as one `go test -bench` style line
 // (ns/op is fan-out wall time per cycle), so `benchjson` ingests it
 // into BENCH_fanout.json and `benchjson compare` gates regressions.
 func (r Result) BenchLine() string {
 	return fmt.Sprintf(
-		"BenchmarkFanout/sessions=%d/channels=%d/mode=%s \t%d\t%.0f ns/op\t%.0f frames/s\t%.3f p50-ms\t%.3f p99-ms\t%.0f encodes/cycle\t%.0f bytes/cycle",
-		r.Sessions, r.Channels, r.Mode(), r.Cycles,
+		"%s \t%d\t%.0f ns/op\t%.0f frames/s\t%.3f p50-ms\t%.3f p99-ms\t%.0f encodes/cycle\t%.0f bytes/cycle",
+		r.benchName("BenchmarkFanout"), r.Cycles,
 		float64(r.Wall.Nanoseconds())/float64(r.Cycles),
 		r.FramesPerSec,
 		float64(r.P50.Microseconds())/1000,
@@ -378,8 +403,8 @@ func (r Result) BenchLine() string {
 // p99 so `benchjson compare` gates tail-latency regressions directly.
 func (r Result) LatencyBenchLine() string {
 	return fmt.Sprintf(
-		"BenchmarkLatency/sessions=%d/channels=%d/mode=%s \t%d\t%d ns/op\t%.3f p50-ms\t%.3f p90-ms\t%.3f p99-ms\t%.3f max-ms\t%d samples",
-		r.Sessions, r.Channels, r.Mode(), r.Cycles,
+		"%s \t%d\t%d ns/op\t%.3f p50-ms\t%.3f p90-ms\t%.3f p99-ms\t%.3f max-ms\t%d samples",
+		r.benchName("BenchmarkLatency"), r.Cycles,
 		r.LatencyP99.Nanoseconds(),
 		float64(r.LatencyP50.Microseconds())/1000,
 		float64(r.LatencyP90.Microseconds())/1000,
@@ -489,13 +514,96 @@ func Run(ctl Control, cfg Config) (Result, error) {
 		e2e        latHist // publish→receive, from frame timestamps
 	)
 
+	// With a relay tier, the relays run in this process (each is pure
+	// fan-out — goroutines and sockets, no database) and the sessions
+	// dial them round-robin. Each relay subscribes every channel
+	// upstream, so the root's per-message write volume is exactly one
+	// frame per relay. The relays are torn down after the sessions
+	// (defers run LIFO), so no session sees its relay die first.
+	addrs := []string{ctl.Addr()}
+	relays := make([]*relay.Relay, 0, cfg.Relays)
+	relayCtx, relayCancel := context.WithCancel(context.Background())
+	var relayWG sync.WaitGroup
+	defer func() {
+		relayCancel()
+		relayWG.Wait()
+	}()
+	if cfg.Relays > 0 {
+		addrs = addrs[:0]
+		for i := 0; i < cfg.Relays; i++ {
+			rln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return Result{}, err
+			}
+			rl, err := relay.New(relay.Config{
+				Upstream:         ctl.Addr(),
+				RelayID:          1<<30 + i,
+				SubscriberBuffer: cfg.SubscriberBuffer,
+				WriteTimeout:     cfg.Timeout,
+				MinBackoff:       25 * time.Millisecond,
+				MaxBackoff:       time.Second,
+				JitterSeed:       int64(i + 1),
+				Logf:             cfg.Logf,
+			})
+			if err != nil {
+				rln.Close()
+				return Result{}, err
+			}
+			relays = append(relays, rl)
+			addrs = append(addrs, rln.Addr().String())
+			relayWG.Add(1)
+			go func() {
+				defer relayWG.Done()
+				if err := rl.Run(relayCtx, rln); err != nil {
+					cfg.logf("loadtest: relay: %v", err)
+				}
+			}()
+		}
+		deadline := time.Now().Add(cfg.Timeout)
+		for _, rl := range relays {
+			for !rl.Status().Relay.Connected {
+				if time.Now().After(deadline) {
+					return Result{}, fmt.Errorf("loadtest: relay tier not connected upstream after %s", cfg.Timeout)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		cfg.logf("loadtest: %d relays feeding from %s", cfg.Relays, ctl.Addr())
+	}
+	// relayWritten/relayIngested sum the tier's flushed-frame and
+	// upstream-ingest counters; exact once the tier is drained
+	// (written == delivered on every relay, nothing left in a queue).
+	relayWritten := func() uint64 {
+		var n uint64
+		for _, rl := range relays {
+			n += rl.Metrics().FanoutFramesWritten.Load()
+		}
+		return n
+	}
+	relayIngested := func() uint64 {
+		var n uint64
+		for _, rl := range relays {
+			n += rl.Metrics().RelayFrames.Load()
+		}
+		return n
+	}
+	relaysDrained := func() bool {
+		for _, rl := range relays {
+			m := rl.Metrics()
+			if m.FanoutFramesWritten.Load() != m.FanoutDeliveries.Load() {
+				return false
+			}
+		}
+		return true
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Sessions; i++ {
 		st := &states[i]
 		nc, err := netclient.New(netclient.Config{
-			Addr:       ctl.Addr(),
+			Addr:       addrs[i%len(addrs)],
 			ClientID:   i + 1,
 			Queries:    []query.Query{sessionQuery(i)},
 			MinBackoff: 50 * time.Millisecond,
@@ -613,7 +721,13 @@ func Run(ctl Control, cfg Config) (Result, error) {
 	}
 
 	// Counter deltas for the measured window start here, after the
-	// bootstrap deliveries have fully drained.
+	// bootstrap deliveries have fully drained. The relay tier counts a
+	// flushed frame an instant after the session receives it, so drain
+	// the tier (written caught up with delivered) before snapshotting.
+	if err := waitFor("relay bootstrap flush", relaysDrained); err != nil {
+		return Result{}, err
+	}
+	relayWrittenBase, relayIngestBase := relayWritten(), relayIngested()
 	base, err := ctl.Stats()
 	if err != nil {
 		return Result{}, err
@@ -625,7 +739,8 @@ func Run(ctl Control, cfg Config) (Result, error) {
 	var wall time.Duration
 	want, last := bootFrames, base
 	for k := 1; k <= cfg.Cycles; k++ {
-		cycleStart.Store(time.Now().UnixNano())
+		start := time.Now()
+		cycleStart.Store(start.UnixNano())
 		// The daemon half measures the cycle's fan-out wall time itself
 		// (publish start → last frame handed to the kernel) and returns
 		// it, so driver-side scheduling — thousands of decoding sessions
@@ -634,7 +749,6 @@ func Run(ctl Control, cfg Config) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		wall += dur
 		// The publish has returned, so this cycle's message counts are
 		// final; deliveries race on while we compute the expectation.
 		cur, err := ctl.Stats()
@@ -655,6 +769,14 @@ func Run(ctl Control, cfg Config) (Result, error) {
 		if got := total.Load(); got != want {
 			return Result{}, fmt.Errorf("loadtest: cycle %d delivered %d cumulative frames, want exactly %d", k, got, want)
 		}
+		if cfg.Relays > 0 {
+			// With a relay tier the root's flush-complete only covers the
+			// first hop (one frame per relay); the fan-out under test ends
+			// when the tier has delivered to every session, so the cycle
+			// wall is publish start → last frame received downstream.
+			dur = time.Since(start)
+		}
+		wall += dur
 		cfg.logf("loadtest: cycle %d/%d: %d frames in %s", k, cfg.Cycles, inc, dur)
 	}
 	measuring.Store(false)
@@ -664,9 +786,34 @@ func Run(ctl Control, cfg Config) (Result, error) {
 	}
 	// Flush-complete must agree with the delivery accounting exactly:
 	// every delivered frame was handed to the kernel, nothing more.
-	if wrote := end.FramesWritten - base.FramesWritten; wrote != want-bootFrames {
-		return Result{}, fmt.Errorf("loadtest: wrote %d frames in the measured window, want exactly %d",
-			wrote, want-bootFrames)
+	if cfg.Relays == 0 {
+		if wrote := end.FramesWritten - base.FramesWritten; wrote != want-bootFrames {
+			return Result{}, fmt.Errorf("loadtest: wrote %d frames in the measured window, want exactly %d",
+				wrote, want-bootFrames)
+		}
+	} else {
+		// Two-tier accounting. The root writes each published message's
+		// frame exactly once per relay (each relay is one feed session
+		// subscribed to every channel) — the write reduction the tier
+		// exists for. Each relay ingests exactly those frames, and the
+		// tier as a whole re-fans them into exactly the session volume a
+		// direct deployment would have written.
+		feedFrames := (end.messages() - base.messages()) * uint64(cfg.Relays)
+		if wrote := end.FramesWritten - base.FramesWritten; wrote != feedFrames {
+			return Result{}, fmt.Errorf("loadtest: root wrote %d frames in the measured window, want exactly %d (messages × relays)",
+				wrote, feedFrames)
+		}
+		if err := waitFor("relay flush", relaysDrained); err != nil {
+			return Result{}, err
+		}
+		if got := relayIngested() - relayIngestBase; got != feedFrames {
+			return Result{}, fmt.Errorf("loadtest: relay tier ingested %d frames in the measured window, want exactly %d",
+				got, feedFrames)
+		}
+		if got := relayWritten() - relayWrittenBase; got != want-bootFrames {
+			return Result{}, fmt.Errorf("loadtest: relay tier wrote %d frames in the measured window, want exactly %d",
+				got, want-bootFrames)
+		}
 	}
 
 	frames := want - bootFrames
@@ -675,6 +822,7 @@ func Run(ctl Control, cfg Config) (Result, error) {
 		Channels:         cfg.Channels,
 		Cycles:           cfg.Cycles,
 		PerSessionEncode: cfg.PerSessionEncode,
+		Relays:           cfg.Relays,
 		FramesPerCycle:   frames / uint64(cfg.Cycles),
 		Frames:           frames,
 		Messages:         end.messages() - base.messages(),

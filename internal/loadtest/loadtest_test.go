@@ -87,6 +87,45 @@ func TestLoadHarnessAblation(t *testing.T) {
 	}
 }
 
+// TestLoadHarnessRelayTier runs the two-tier topology — one root, two
+// relays, sessions round-robined across them — and pins the
+// hierarchical fan-out accounting: the root encoded once per message
+// and wrote once per message per relay, while every session still
+// received exactly its channel's frames through the tier.
+func TestLoadHarnessRelayTier(t *testing.T) {
+	cfg := shortConfig()
+	cfg.Relays = 2
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := Run(srv, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", res.BenchLine())
+
+	if res.Relays != cfg.Relays {
+		t.Fatalf("result carries %d relays, want %d", res.Relays, cfg.Relays)
+	}
+	if res.Frames != res.FramesPerCycle*uint64(cfg.Cycles) {
+		t.Fatalf("delivered %d frames, want %d", res.Frames, res.FramesPerCycle*uint64(cfg.Cycles))
+	}
+	// Encode-once survives the tier: the root still encodes exactly one
+	// frame per message, and its delivery count collapses from one per
+	// session to one per relay.
+	if res.Messages == 0 || res.Encodes != res.Messages {
+		t.Fatalf("measured window encoded %d frames for %d messages, want one encode per message", res.Encodes, res.Messages)
+	}
+	if res.Deliveries != res.Messages*uint64(cfg.Relays) {
+		t.Fatalf("root delivered %d frames for %d messages × %d relays", res.Deliveries, res.Messages, cfg.Relays)
+	}
+	if res.Deliveries >= res.Frames {
+		t.Fatalf("root deliveries %d should be far below session frames %d", res.Deliveries, res.Frames)
+	}
+}
+
 // TestSplitProcessProtocol exercises the split-process plumbing without
 // spawning a process: ServeProtocol runs on in-memory pipes and the
 // driver talks to it through ProcControl, exactly as qsubload's parent

@@ -105,11 +105,26 @@ type Catalog struct {
 	SessionMaxQueueDepth *Gauge
 	SessionMaxStaleMs    *Gauge
 
+	// Relay tier. On a daemon, RelaySessions counts attached downstream
+	// relay feeds; on a relay, the ingest counters account the upstream
+	// feed (frames/bytes received, upstream reconnects) and RelayHop is
+	// the relay's distance from the root publisher (0 = root).
+	RelayFrames     *Counter
+	RelayBytes      *Counter
+	RelayReconnects *Counter
+	RelayHop        *Gauge
+	RelaySessions   *Gauge
+
 	// Client-side extractor and end-to-end delivery latency
 	// (publish timestamp → client Handle, same-host clocks).
 	ClientKeptTuples       *Counter
 	ClientFilteredMessages *Counter
 	ClientLatencySeconds   *Histogram
+	// ClientClockSkew counts timestamped frames whose publish→receive
+	// delta was negative (receiver clock behind the publisher, a relay
+	// tier's second clock domain) and therefore clamped to zero before
+	// entering the latency histogram.
+	ClientClockSkew *Counter
 }
 
 // CycleStages are the label values of the qsub_cycle_stage_seconds
@@ -184,9 +199,16 @@ func NewCatalog(channels int) *Catalog {
 		SessionMaxQueueDepth: r.Gauge("qsub_session_max_queue_depth", "per-cycle watermark: deepest per-session delivery queue"),
 		SessionMaxStaleMs:    r.Gauge("qsub_session_max_staleness_ms", "per-cycle watermark: staleness of the laggiest session in milliseconds"),
 
+		RelayFrames:     r.Counter("qsub_relay_frames_total", "answer frames received from the upstream relay feed"),
+		RelayBytes:      r.Counter("qsub_relay_bytes_total", "answer frame bytes received from the upstream relay feed"),
+		RelayReconnects: r.Counter("qsub_relay_reconnects_total", "upstream feed sessions re-established after a loss"),
+		RelayHop:        r.Gauge("qsub_relay_hop", "hops from the root publisher (0 = root daemon)"),
+		RelaySessions:   r.Gauge("qsub_relay_sessions", "attached downstream relay feed sessions"),
+
 		ClientKeptTuples:       r.Counter("qsub_client_kept_tuples_total", "tuples kept by the client extractor"),
 		ClientFilteredMessages: r.Counter("qsub_client_filtered_messages_total", "messages discarded by clients as unaddressed"),
 		ClientLatencySeconds:   r.Histogram("qsub_client_latency_seconds", "publish-timestamp to client-Handle delivery latency (same-host clocks)", FineLatencyBuckets),
+		ClientClockSkew:        r.Counter("qsub_latency_clock_skew_total", "timestamped frames whose publish-to-receive delta was negative and clamped to zero (cross-clock-domain skew)"),
 	}
 }
 

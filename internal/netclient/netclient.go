@@ -66,6 +66,11 @@ type Config struct {
 	// clients is safe — Observe is atomic — and is how the load harness
 	// aggregates fleet-wide quantiles.
 	LatencyHist *metrics.Histogram
+	// ClockSkew, when set, counts timestamped frames whose
+	// publish→receive delta was negative and clamped (see
+	// client.SetClockSkewCounter) — expected once frames arrive through
+	// a relay in another clock domain.
+	ClockSkew *metrics.Counter
 }
 
 // Stats counts the resilience machinery's activity.
@@ -127,6 +132,7 @@ func New(cfg Config) (*Client, error) {
 		lastSeq: make(map[int]uint64),
 	}
 	c.ext.SetLatencyHistogram(cfg.LatencyHist)
+	c.ext.SetClockSkewCounter(cfg.ClockSkew)
 	return c, nil
 }
 

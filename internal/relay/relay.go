@@ -1,0 +1,848 @@
+// Package relay implements the hierarchical fan-out tier: a daemon-like
+// process that subscribes upstream as a privileged feed session
+// (TypeRelaySub), receives each channel's shared encode-once answer
+// frames exactly once, and re-fans them out verbatim to its own
+// downstream sessions. No decode, no re-encode, no re-plan: the bytes a
+// client receives through a relay are the bytes the root published,
+// sequence numbers included, so netclient gap detection and Refresh
+// recovery work unchanged through any number of hops.
+//
+// Control remains end to end. A downstream client speaks the ordinary
+// query protocol to the relay; the relay wraps each control frame in
+// TypeRelayCtl and forwards it upstream, where the root registers the
+// subscription under the client's global id and plans it like any direct
+// client's. Channel assignments come back the same way — wrapped on the
+// relay session, ahead of the cycle's answer frames on the same TCP
+// stream — so the relay rebinds the client before the first frame of the
+// new assignment arrives.
+//
+// The upstream link is resilient the way netclient sessions are:
+// exponential backoff with equal jitter, and on every reconnect the
+// relay replays its clients' registrations (the root released them when
+// the old feed session died) and requests one full refresh so downstream
+// answer state rebuilds without manual intervention.
+package relay
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"qsub/internal/metrics"
+	"qsub/internal/query"
+	"qsub/internal/wire"
+)
+
+// Defaults mirror the daemon's session-hardening parameters.
+const (
+	DefaultWriteTimeout     = 10 * time.Second
+	DefaultSubscriberBuffer = 256
+)
+
+// maxWriteBatch caps how many queued frames a downstream writer
+// coalesces into one vectored flush (same rationale as the daemon's
+// maxFanoutBatch).
+const maxWriteBatch = 256
+
+// connReadBuffer sizes the buffered readers on both the upstream feed
+// and downstream session connections.
+const connReadBuffer = 32 << 10
+
+// Config parameterizes a relay.
+type Config struct {
+	// Upstream is the address of the daemon (or relay) to feed from.
+	Upstream string
+	// RelayID identifies the relay's upstream session. It shares the
+	// client id space, so deployments give relays ids far from any
+	// client's (the supersede rule applies to relays too).
+	RelayID int
+	// Channels restricts the upstream subscription to these channels;
+	// nil subscribes every channel, which is also what lets downstream
+	// clients be assigned anywhere.
+	Channels []int
+
+	// SubscriberBuffer is the per-downstream-session frame queue depth
+	// (default DefaultSubscriberBuffer). A session whose queue fills is
+	// evicted, exactly like a slow consumer on the root daemon.
+	SubscriberBuffer int
+	// WriteTimeout bounds each downstream flush and upstream control
+	// write (default DefaultWriteTimeout).
+	WriteTimeout time.Duration
+
+	// MinBackoff/MaxBackoff/MaxAttempts/JitterSeed shape the upstream
+	// reconnect loop, with netclient's semantics and defaults.
+	MinBackoff  time.Duration
+	MaxBackoff  time.Duration
+	MaxAttempts int
+	JitterSeed  int64
+
+	// Dial opens the upstream connection; nil uses net.Dial("tcp", ...).
+	// Tests inject fault-wrapped connections here.
+	Dial func(addr string) (net.Conn, error)
+	// Metrics receives the relay's instrumentation; nil allocates a
+	// private catalog.
+	Metrics *metrics.Catalog
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// route is where control frames for one downstream client go: the
+// session that owns it, whether the client is directly connected (vs.
+// living behind a further downstream relay), and — for direct clients —
+// the raw Subscribe payloads to replay after an upstream reconnect.
+type route struct {
+	sess   *dsession
+	direct bool
+	subs   map[query.ID][]byte
+}
+
+// dsession is one downstream session: a direct client or a downstream
+// relay. Frames fan out through a bounded queue drained by a dedicated
+// writer goroutine; enqueue order is write order, so a wrapped Assigned
+// always precedes the answer frames that follow it upstream.
+type dsession struct {
+	clientID int
+	conn     net.Conn
+
+	relay bool     // downstream relay feed (RelaySub received)
+	mask  []uint64 // downstream relay's channel mask
+
+	out  chan []byte
+	quit chan struct{} // closed at teardown; writer exits
+	done chan struct{} // closed when the writer exited
+
+	// channel is the session's current binding, -1 when unbound;
+	// guarded by the relay's fanMu.
+	channel int
+}
+
+// enqueue queues one ready-to-write frame, reporting false when the
+// session's queue is full (the caller evicts).
+func (s *dsession) enqueue(frame []byte) bool {
+	select {
+	case s.out <- frame:
+		return true
+	default:
+		return false
+	}
+}
+
+// Relay is a running relay tier process.
+type Relay struct {
+	cfg     Config
+	metrics *metrics.Catalog
+
+	// mu guards the routing table and the upstream connection's control
+	// writes. Registration and forwarding happen under one critical
+	// section, so a reconnect replay can neither miss nor double-send a
+	// registration.
+	mu         sync.Mutex
+	routes     map[int]*route
+	uconn      net.Conn
+	connected  bool
+	hop        int
+	upChannels int
+	connects   int
+
+	// fanMu guards the data-plane fan-out tables.
+	fanMu     sync.Mutex
+	byChannel map[int][]*dsession
+	feeds     []*dsession
+
+	smu      sync.Mutex
+	sessions map[*dsession]struct{}
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// New builds a relay; Run starts it.
+func New(cfg Config) (*Relay, error) {
+	if cfg.Upstream == "" {
+		return nil, errors.New("relay: no upstream address configured")
+	}
+	if cfg.SubscriberBuffer <= 0 {
+		cfg.SubscriberBuffer = DefaultSubscriberBuffer
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.MinBackoff <= 0 {
+		cfg.MinBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 30 * time.Second
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string) (net.Conn, error) {
+			return net.Dial("tcp", addr)
+		}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewCatalog(0)
+	}
+	return &Relay{
+		cfg:       cfg,
+		metrics:   cfg.Metrics,
+		routes:    make(map[int]*route),
+		byChannel: make(map[int][]*dsession),
+		sessions:  make(map[*dsession]struct{}),
+	}, nil
+}
+
+// Metrics returns the relay's instrument catalog (never nil).
+func (r *Relay) Metrics() *metrics.Catalog { return r.metrics }
+
+func (r *Relay) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Run accepts downstream sessions on ln and maintains the upstream feed
+// until ctx ends (returning nil) or MaxAttempts consecutive upstream
+// dials fail (returning the last dial error). The listener is closed on
+// return.
+func (r *Relay) Run(ctx context.Context, ln net.Listener) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close()
+		case <-stop:
+		}
+	}()
+
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			r.wg.Add(1)
+			go func() {
+				defer r.wg.Done()
+				if err := r.handle(conn); err != nil && err != io.EOF && !errors.Is(err, net.ErrClosed) {
+					r.logf("relay: session error: %v", err)
+				}
+			}()
+		}
+	}()
+
+	err := r.runUpstream(ctx)
+	r.shutdown()
+	ln.Close()
+	r.wg.Wait()
+	if ctx.Err() != nil {
+		return nil
+	}
+	return err
+}
+
+// shutdown tears down every downstream session.
+func (r *Relay) shutdown() {
+	r.smu.Lock()
+	r.closed = true
+	sessions := make([]*dsession, 0, len(r.sessions))
+	for s := range r.sessions {
+		sessions = append(sessions, s)
+	}
+	r.smu.Unlock()
+	for _, s := range sessions {
+		s.conn.Close()
+	}
+}
+
+// ---- upstream feed ----
+
+// runUpstream drives the connect/feed/backoff loop.
+func (r *Relay) runUpstream(ctx context.Context) error {
+	seed := r.cfg.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		conn, err := r.connectUpstream()
+		if err != nil {
+			failures++
+			if r.cfg.MaxAttempts > 0 && failures >= r.cfg.MaxAttempts {
+				return fmt.Errorf("relay: giving up after %d upstream dial failures: %w", failures, err)
+			}
+			delay := r.backoff(failures, rng)
+			r.logf("relay: upstream %s: %v (retrying in %s)", r.cfg.Upstream, err, delay)
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(delay):
+			}
+			continue
+		}
+		failures = 0
+
+		// Unblock the feed read when the context ends mid-session.
+		watch := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				conn.Close()
+			case <-watch:
+			}
+		}()
+		err = r.serveUpstream(conn)
+		close(watch)
+		r.detachUpstream(conn)
+		if ctx.Err() != nil {
+			return nil
+		}
+		failures = 1
+		delay := r.backoff(failures, rng)
+		r.logf("relay: upstream feed ended: %v (reconnecting in %s)", err, delay)
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(delay):
+		}
+	}
+}
+
+// backoff mirrors netclient's: exponential with equal jitter.
+func (r *Relay) backoff(n int, rng *rand.Rand) time.Duration {
+	d := r.cfg.MinBackoff
+	for i := 1; i < n && d < r.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > r.cfg.MaxBackoff {
+		d = r.cfg.MaxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+// connectUpstream dials the upstream, performs the relay handshake and
+// replays the routing table. On a reconnect the root has already
+// released every registration this relay owned (teardown-on-disconnect),
+// so the replay starts from a clean registry and cannot collide.
+func (r *Relay) connectUpstream() (net.Conn, error) {
+	conn, err := r.cfg.Dial(r.cfg.Upstream)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetWriteBuffer(256 << 10) // best effort, matches the daemon
+	}
+	if err := wire.WriteFrame(conn, wire.TypeHello,
+		wire.MarshalHello(wire.Hello{ClientID: r.cfg.RelayID})); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := wire.WriteFrame(conn, wire.TypeRelaySub,
+		wire.MarshalRelaySub(wire.RelaySub{Mask: wire.ChannelMask(r.cfg.Channels...)})); err != nil {
+		conn.Close()
+		return nil, err
+	}
+
+	r.mu.Lock()
+	r.uconn = conn
+	r.connects++
+	reconnect := r.connects > 1
+	replayed := 0
+	for id, rt := range r.routes {
+		if !rt.direct {
+			continue
+		}
+		r.forwardCtlLocked(id, wire.TypeHello, wire.MarshalHello(wire.Hello{ClientID: id}))
+		for _, raw := range rt.subs {
+			r.forwardCtlLocked(id, wire.TypeSubscribe, raw)
+		}
+		replayed++
+	}
+	r.mu.Unlock()
+
+	if reconnect {
+		r.metrics.RelayReconnects.Inc()
+		// Everything published while disconnected is gone; ask the root
+		// for full answers so downstream clients rebuild complete state.
+		if err := wire.WriteFrame(conn, wire.TypeRefresh, nil); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		r.logf("relay: reconnected upstream %s, replayed %d clients, requested full refresh",
+			r.cfg.Upstream, replayed)
+	}
+	return conn, nil
+}
+
+// detachUpstream clears the upstream connection state after a feed ends,
+// and drops downstream relay sessions: the root released their clients
+// with ours, and only they hold the registrations to replay, so they
+// must reconnect and replay themselves.
+func (r *Relay) detachUpstream(conn net.Conn) {
+	conn.Close()
+	r.mu.Lock()
+	if r.uconn == conn {
+		r.uconn = nil
+		r.connected = false
+	}
+	r.mu.Unlock()
+	r.fanMu.Lock()
+	feeds := append([]*dsession(nil), r.feeds...)
+	r.fanMu.Unlock()
+	for _, s := range feeds {
+		s.conn.Close()
+	}
+}
+
+// serveUpstream consumes the upstream feed until the connection ends.
+func (r *Relay) serveUpstream(conn net.Conn) error {
+	br := bufio.NewReaderSize(conn, connReadBuffer)
+	var rbuf []byte
+	for {
+		ft, payload, err := wire.ReadFrameAppend(rbuf[:0], br)
+		rbuf = payload
+		if err != nil {
+			return err
+		}
+		switch ft {
+		case wire.TypeAnswer:
+			if len(payload) < 4 {
+				return errors.New("relay: short answer frame")
+			}
+			r.ingest(payload)
+		case wire.TypeRelayAck:
+			ack, err := wire.UnmarshalRelayAck(payload)
+			if err != nil {
+				return err
+			}
+			r.mu.Lock()
+			r.connected = true
+			r.hop = ack.Hop
+			r.upChannels = ack.Channels
+			r.mu.Unlock()
+			r.metrics.RelayHop.Set(int64(ack.Hop))
+			r.logf("relay: feed established at hop %d (%d upstream channels)", ack.Hop, ack.Channels)
+		case wire.TypeRelayCtl:
+			rc, err := wire.UnmarshalRelayCtl(payload)
+			if err != nil {
+				return err
+			}
+			r.routeCtl(rc)
+		case wire.TypeError:
+			e, err := wire.UnmarshalError(payload)
+			if err != nil {
+				return err
+			}
+			r.logf("relay: upstream error: %s", e.Msg)
+		case wire.TypeBye:
+			return errors.New("relay: upstream said goodbye")
+		default:
+			return fmt.Errorf("relay: unexpected frame type %d from upstream", ft)
+		}
+	}
+}
+
+// frameFor builds a complete wire frame (header + payload copy) ready to
+// enqueue. Downstream writers share the returned slice; it is immutable
+// from here on.
+func frameFor(frameType uint8, payload []byte) []byte {
+	frame := make([]byte, wire.HeaderSize+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	frame[4] = frameType
+	copy(frame[wire.HeaderSize:], payload)
+	return frame
+}
+
+// ingest fans one upstream answer frame out to every downstream session
+// bound to (or masked onto) its channel. The frame bytes are copied out
+// of the read buffer exactly once and shared by every queue — the relay
+// never decodes the message, it routes on the payload's leading channel
+// field alone.
+func (r *Relay) ingest(payload []byte) {
+	channel := int(binary.BigEndian.Uint32(payload[:4]))
+	frame := frameFor(wire.TypeAnswer, payload)
+	r.metrics.RelayFrames.Inc()
+	r.metrics.RelayBytes.Add(uint64(len(frame)))
+
+	r.fanMu.Lock()
+	defer r.fanMu.Unlock()
+	for _, s := range r.byChannel[channel] {
+		r.deliverLocked(s, frame, channel)
+	}
+	for _, s := range r.feeds {
+		if wire.MaskHas(s.mask, channel) {
+			r.deliverLocked(s, frame, channel)
+		}
+	}
+}
+
+// deliverLocked enqueues one frame, evicting the session if its queue is
+// full (the reader loop then tears it down like any dead connection).
+// Callers hold fanMu.
+func (r *Relay) deliverLocked(s *dsession, frame []byte, channel int) {
+	if s.enqueue(frame) {
+		r.metrics.FanoutDeliveries.Inc()
+		r.metrics.FanoutFramesShared.Inc()
+		return
+	}
+	r.metrics.FanoutDropped.Inc()
+	r.metrics.SessionsEvicted.Inc()
+	r.logf("relay: client %d evicted as a slow consumer on channel %d", s.clientID, channel)
+	s.conn.Close()
+}
+
+// routeCtl dispatches one wrapped control frame from upstream to the
+// downstream session that owns the client. For a direct client the
+// wrapper is removed (the client speaks the plain protocol); for a
+// client behind a further relay the wrapped frame is forwarded verbatim.
+// Either way the frame travels through the session's ordered queue, so
+// an Assigned never overtakes — or is overtaken by — the answer frames
+// around it.
+func (r *Relay) routeCtl(rc wire.RelayCtl) {
+	r.mu.Lock()
+	rt := r.routes[rc.ClientID]
+	r.mu.Unlock()
+	if rt == nil {
+		return // client disconnected while the frame was in flight
+	}
+	if !rt.direct {
+		r.deliver(rt.sess, frameFor(wire.TypeRelayCtl, wire.MarshalRelayCtl(rc)), -1)
+		return
+	}
+	if rc.Inner == wire.TypeAssigned {
+		a, err := wire.UnmarshalAssigned(rc.Payload)
+		if err != nil {
+			r.logf("relay: bad assigned frame for client %d: %v", rc.ClientID, err)
+			return
+		}
+		r.rebind(rt.sess, a.Channel)
+	}
+	r.deliver(rt.sess, frameFor(rc.Inner, rc.Payload), -1)
+}
+
+// deliver is deliverLocked for callers not holding fanMu.
+func (r *Relay) deliver(s *dsession, frame []byte, channel int) {
+	r.fanMu.Lock()
+	r.deliverLocked(s, frame, channel)
+	r.fanMu.Unlock()
+}
+
+// rebind moves a direct session to a channel. Rebinding happens on the
+// upstream read loop before the Assigned frame is enqueued, and the
+// root orders each Assigned ahead of the cycle's answer frames on the
+// feed connection — so by the time the first new-channel frame reaches
+// ingest, the binding already points at the session.
+func (r *Relay) rebind(s *dsession, channel int) {
+	r.fanMu.Lock()
+	defer r.fanMu.Unlock()
+	if s.channel == channel {
+		return
+	}
+	if s.channel >= 0 {
+		r.byChannel[s.channel] = removeSession(r.byChannel[s.channel], s)
+	}
+	s.channel = channel
+	if channel >= 0 {
+		r.byChannel[channel] = append(r.byChannel[channel], s)
+	}
+}
+
+func removeSession(list []*dsession, s *dsession) []*dsession {
+	for i, v := range list {
+		if v == s {
+			list[i] = list[len(list)-1]
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
+
+// forwardCtlLocked wraps one control frame for clientID and writes it
+// upstream. Callers hold r.mu; a nil upstream connection silently drops
+// the frame — the registration is in the routing table and the next
+// reconnect replays it.
+func (r *Relay) forwardCtlLocked(clientID int, inner uint8, payload []byte) {
+	if r.uconn == nil {
+		return
+	}
+	if r.cfg.WriteTimeout > 0 {
+		r.uconn.SetWriteDeadline(time.Now().Add(r.cfg.WriteTimeout))
+	}
+	if err := wire.WriteFrame(r.uconn, wire.TypeRelayCtl,
+		wire.MarshalRelayCtl(wire.RelayCtl{ClientID: clientID, Inner: inner, Payload: payload})); err != nil {
+		r.logf("relay: upstream ctl write: %v", err)
+		r.uconn.Close() // the feed loop notices and reconnects
+	}
+}
+
+// forwardRawLocked writes an already-wrapped RelayCtl payload upstream
+// verbatim (multi-hop forwarding). Callers hold r.mu.
+func (r *Relay) forwardRawLocked(payload []byte) {
+	if r.uconn == nil {
+		return
+	}
+	if r.cfg.WriteTimeout > 0 {
+		r.uconn.SetWriteDeadline(time.Now().Add(r.cfg.WriteTimeout))
+	}
+	if err := wire.WriteFrame(r.uconn, wire.TypeRelayCtl, payload); err != nil {
+		r.logf("relay: upstream ctl write: %v", err)
+		r.uconn.Close()
+	}
+}
+
+// ---- downstream sessions ----
+
+// handle runs one downstream session: Hello, then either the plain query
+// protocol (a client) or RelaySub (a further relay tier).
+func (r *Relay) handle(conn net.Conn) error {
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetWriteBuffer(256 << 10) // best effort
+	}
+	br := bufio.NewReaderSize(conn, connReadBuffer)
+	ft, payload, err := wire.ReadFrame(br)
+	if err != nil {
+		return err
+	}
+	if ft != wire.TypeHello {
+		return fmt.Errorf("relay: expected Hello, got frame type %d", ft)
+	}
+	hello, err := wire.UnmarshalHello(payload)
+	if err != nil {
+		return err
+	}
+
+	s := &dsession{
+		clientID: hello.ClientID,
+		conn:     conn,
+		channel:  -1,
+		out:      make(chan []byte, r.cfg.SubscriberBuffer),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	r.smu.Lock()
+	if r.closed {
+		r.smu.Unlock()
+		return errors.New("relay: closed")
+	}
+	r.sessions[s] = struct{}{}
+	r.metrics.SessionsConnected.Set(int64(len(r.sessions)))
+	r.smu.Unlock()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.writer(s)
+	}()
+	defer r.dropSession(s)
+
+	// Route and announce the client upstream. A reconnecting client id
+	// re-homes its route (the relay-side supersede; the root's own
+	// supersede rule does not fire because the relay session persists).
+	r.mu.Lock()
+	rt := r.routes[hello.ClientID]
+	if rt == nil || !rt.direct {
+		rt = &route{direct: true, subs: make(map[query.ID][]byte)}
+		r.routes[hello.ClientID] = rt
+	}
+	rt.sess = s
+	r.forwardCtlLocked(hello.ClientID, wire.TypeHello, wire.MarshalHello(wire.Hello{ClientID: hello.ClientID}))
+	r.mu.Unlock()
+
+	var rbuf []byte
+	for {
+		ft, payload, err := wire.ReadFrameAppend(rbuf[:0], br)
+		rbuf = payload
+		if err != nil {
+			return err
+		}
+		switch ft {
+		case wire.TypeSubscribe:
+			sub, err := wire.UnmarshalSubscribe(payload)
+			if err != nil {
+				return err
+			}
+			raw := append([]byte(nil), payload...)
+			r.mu.Lock()
+			rt.subs[sub.Query.ID] = raw
+			r.forwardCtlLocked(s.clientID, wire.TypeSubscribe, raw)
+			r.mu.Unlock()
+		case wire.TypeUnsubscribe:
+			unsub, err := wire.UnmarshalUnsubscribe(payload)
+			if err != nil {
+				return err
+			}
+			r.mu.Lock()
+			delete(rt.subs, unsub.ID)
+			r.forwardCtlLocked(s.clientID, wire.TypeUnsubscribe, append([]byte(nil), payload...))
+			r.mu.Unlock()
+		case wire.TypeReady, wire.TypeRefresh:
+			r.mu.Lock()
+			r.forwardCtlLocked(s.clientID, ft, nil)
+			r.mu.Unlock()
+		case wire.TypeRelaySub:
+			rs, err := wire.UnmarshalRelaySub(payload)
+			if err != nil {
+				return err
+			}
+			if err := r.upgradeFeed(s, rs); err != nil {
+				return err
+			}
+		case wire.TypeRelayCtl:
+			// Multi-hop: a downstream relay forwards its clients' control
+			// frames. Track the route (so returning ctl frames find the
+			// session) and pass the wrapper upstream verbatim.
+			rc, err := wire.UnmarshalRelayCtl(payload)
+			if err != nil {
+				return err
+			}
+			raw := append([]byte(nil), payload...)
+			r.mu.Lock()
+			switch rc.Inner {
+			case wire.TypeHello:
+				r.routes[rc.ClientID] = &route{sess: s, direct: false}
+			case wire.TypeBye:
+				if inner := r.routes[rc.ClientID]; inner != nil && inner.sess == s {
+					delete(r.routes, rc.ClientID)
+				}
+			}
+			r.forwardRawLocked(raw)
+			r.mu.Unlock()
+		case wire.TypeBye:
+			return nil
+		default:
+			return fmt.Errorf("relay: unexpected frame type %d", ft)
+		}
+	}
+}
+
+// upgradeFeed turns a downstream session into a relay feed of its own:
+// acknowledge one hop further from the root, and fan every masked
+// channel's frames into its queue. Masks are relative to the root's
+// channel space, which every tier shares.
+func (r *Relay) upgradeFeed(s *dsession, rs wire.RelaySub) error {
+	r.mu.Lock()
+	hop, channels := r.hop, r.upChannels
+	r.mu.Unlock()
+	s.relay = true
+	if len(rs.Mask) > 0 {
+		s.mask = append([]uint64(nil), rs.Mask...)
+	}
+	r.fanMu.Lock()
+	r.feeds = append(r.feeds, s)
+	r.fanMu.Unlock()
+	r.metrics.RelaySessions.Add(1)
+	return s.write(r.cfg.WriteTimeout, wire.TypeRelayAck,
+		wire.MarshalRelayAck(wire.RelayAck{Hop: hop + 1, Channels: channels}))
+}
+
+// write sends one frame directly on the session connection, bypassing
+// the queue (used only for the RelayAck handshake, before any frame can
+// be queued for the session).
+func (s *dsession) write(timeout time.Duration, frameType uint8, payload []byte) error {
+	if timeout > 0 {
+		s.conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	return wire.WriteFrame(s.conn, frameType, payload)
+}
+
+// writer drains the session queue, coalescing bursts into vectored
+// flushes. It owns all post-handshake writes on the connection, so
+// queued frames go out in exactly enqueue order.
+func (r *Relay) writer(s *dsession) {
+	defer close(s.done)
+	batch := make(net.Buffers, 0, maxWriteBatch)
+	for {
+		var frame []byte
+		select {
+		case <-s.quit:
+			return
+		case frame = <-s.out:
+		}
+		batch = batch[:0]
+		batch = append(batch, frame)
+		var batchBytes uint64
+		batchBytes += uint64(len(frame))
+	fill:
+		for len(batch) < maxWriteBatch {
+			select {
+			case f := <-s.out:
+				batch = append(batch, f)
+				batchBytes += uint64(len(f))
+			default:
+				break fill
+			}
+		}
+		if err := r.flush(s, batch); err != nil {
+			s.conn.Close() // the session reader notices and tears down
+			return
+		}
+		r.metrics.FanoutFramesWritten.Add(uint64(len(batch)))
+		r.metrics.FanoutBytes.Add(batchBytes)
+		r.metrics.FanoutFlushes.Inc()
+	}
+}
+
+// flush writes one coalesced batch under the write deadline. The batch
+// is passed by value because net.Buffers.WriteTo consumes the slice it
+// is invoked on; the caller's copy stays intact for accounting and
+// reuse.
+func (r *Relay) flush(s *dsession, batch net.Buffers) error {
+	if r.cfg.WriteTimeout > 0 {
+		s.conn.SetWriteDeadline(time.Now().Add(r.cfg.WriteTimeout))
+	}
+	_, err := batch.WriteTo(s.conn)
+	return err
+}
+
+// dropSession tears one downstream session down: unbind it, release its
+// routes (announcing Bye upstream for every client it carried, so the
+// root unsubscribes them), and join its writer.
+func (r *Relay) dropSession(s *dsession) {
+	r.smu.Lock()
+	delete(r.sessions, s)
+	r.metrics.SessionsConnected.Set(int64(len(r.sessions)))
+	r.smu.Unlock()
+
+	r.fanMu.Lock()
+	if s.channel >= 0 {
+		r.byChannel[s.channel] = removeSession(r.byChannel[s.channel], s)
+		s.channel = -1
+	}
+	if s.relay {
+		r.feeds = removeSession(r.feeds, s)
+	}
+	r.fanMu.Unlock()
+	if s.relay {
+		r.metrics.RelaySessions.Add(-1)
+	}
+
+	r.mu.Lock()
+	for id, rt := range r.routes {
+		if rt.sess != s {
+			continue
+		}
+		delete(r.routes, id)
+		r.forwardCtlLocked(id, wire.TypeBye, nil)
+	}
+	r.mu.Unlock()
+
+	s.conn.Close()
+	close(s.quit)
+	<-s.done
+}

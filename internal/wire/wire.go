@@ -53,6 +53,22 @@ const (
 	// detecting a sequence gap (or after reconnecting mid-stream) so
 	// their accumulated answers are rebuilt rather than left holed.
 	TypeRefresh
+	// TypeRelaySub upgrades a session into a relay feed (relay →
+	// upstream, sent right after Hello): instead of subscribing queries,
+	// the session subscribes a channel set — a bitmask — and from then
+	// on receives every answer frame published on those channels,
+	// verbatim, for re-fan-out to its own downstream sessions.
+	TypeRelaySub
+	// TypeRelayAck answers a RelaySub (upstream → relay) with the
+	// relay's hop depth and the network's channel count.
+	TypeRelayAck
+	// TypeRelayCtl wraps a control frame on behalf of a downstream
+	// client routed through a relay (both directions): relay → upstream
+	// carries the client's Hello/Subscribe/Unsubscribe/Refresh/Bye;
+	// upstream → relay carries the Assigned/Error frames destined for
+	// that client. Client ids are global across the relay tree, so
+	// multi-hop relays forward these frames without rewriting them.
+	TypeRelayCtl
 )
 
 // MaxFrameSize bounds a frame payload; larger frames are rejected to
